@@ -1,0 +1,28 @@
+"""Figure 3: the external-function-call constraint blow-up.
+
+The paper: without the printf, 5 instructions propagate the symbolic
+value; enabling it pulls 61 more (including conditional ones) into the
+trace, and solutions that ignored printf's constraints stop working.
+We reproduce the shape: a small tainted count without printing, a much
+larger one with it, plus extra symbolic branches in the model.
+"""
+
+from repro.eval import run_figure3
+
+
+def test_figure3_printf_blowup(once):
+    result = once(run_figure3)
+    print("\n" + result.render())
+
+    off, on = result.off, result.on
+    # Shape: printing must multiply the tainted-instruction count.
+    assert off.tainted_instructions < 40
+    assert on.tainted_instructions > 2 * off.tainted_instructions
+    assert result.extra_tainted > 30  # paper: +61, ours: +37
+    # And it must add data-dependent conditional constraints.
+    assert result.extra_branches > 0
+    assert on.model_nodes > 2 * off.model_nodes
+
+    once.benchmark.extra_info["tainted_off"] = off.tainted_instructions
+    once.benchmark.extra_info["tainted_on"] = on.tainted_instructions
+    once.benchmark.extra_info["extra"] = result.extra_tainted

@@ -1,0 +1,37 @@
+"""Section V.C's negative bomb: pow(x, 2) == -1 is constant-false.
+
+The paper: "Angr aggressively assigns return values to the pow function,
+and thinks the bomb path can be triggered" — a false positive unique to
+the unconstrained-summary (no-library) configuration.  We also run the
+REXX extension, whose honest-claims rule must NOT report it reachable.
+"""
+
+from repro.bombs import get_bomb
+from repro.tools import get_tool
+
+
+def _run_negative():
+    bomb = get_bomb("neg_square")
+    return {
+        name: get_tool(name).analyze_bomb(bomb)
+        for name in ("bapx", "tritonx", "angrx", "angrx_nolib", "rexx")
+    }
+
+
+def test_negative_bomb_false_positive(once):
+    reports = once(_run_negative)
+    print()
+    for name, report in reports.items():
+        print(f"  {name:12s} claimed={report.goal_claimed!s:5s} "
+              f"solved={report.solved!s:5s} false_positive={report.false_positive}")
+
+    # Nobody actually triggers it (it is unreachable).
+    assert not any(r.solved for r in reports.values())
+    # The no-library configuration *claims* it reachable: the paper's
+    # false positive.
+    assert reports["angrx_nolib"].false_positive
+    # Trace-based tools never claim unvalidated reachability.
+    assert not reports["bapx"].goal_claimed
+    assert not reports["tritonx"].goal_claimed
+    # The extension tool refuses to claim through an invented pow value.
+    assert not reports["rexx"].false_positive

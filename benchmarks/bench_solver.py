@@ -1,0 +1,78 @@
+"""Microbenchmarks for the SMT substrate (real timing benchmarks).
+
+Not tied to a paper table; these keep the solver's performance visible
+so engine-level regressions are attributable.
+"""
+
+from repro.smt import Solver, mk_binop, mk_cmp, mk_const, mk_eq, mk_var
+from repro.symex.simprocedures import sym_atoi
+
+
+def test_bench_linear_equation(benchmark):
+    x = mk_var("bs_x", 64)
+    constraint = mk_eq(
+        mk_binop("add", mk_binop("mul", x, mk_const(7, 64)), mk_const(13, 64)),
+        mk_const(356, 64),
+    )
+
+    def solve():
+        solver = Solver()
+        solver.add(constraint)
+        return solver.check()
+
+    result = benchmark(solve)
+    assert result.sat and (result.model["bs_x"] * 7 + 13) % 2**64 == 356
+
+
+def test_bench_atoi_inversion(benchmark):
+    """Solve atoi(s) == 4219 over a 6-byte symbolic string."""
+    bts = [mk_var(f"bs_a{i}", 8) for i in range(6)]
+    value = sym_atoi(bts)
+    constraint = mk_eq(value, mk_const(4219, 64))
+
+    def solve():
+        solver = Solver()
+        solver.add(constraint)
+        return solver.check()
+
+    result = benchmark(solve)
+    assert result.sat
+    text = bytearray()
+    for i in range(6):
+        byte = result.model.get(f"bs_a{i}", 0)
+        if byte == 0 or not (48 <= byte <= 57 or byte == 45):
+            break
+        text.append(byte)
+    assert int(text.decode()) == 4219
+
+
+def test_bench_unsat_range_split(benchmark):
+    """x < 100 && x > 200 over 64 bits (classic infeasible fork side)."""
+    x = mk_var("bs_u", 64)
+    constraints = [
+        mk_cmp("ult", x, mk_const(100, 64)),
+        mk_cmp("ult", mk_const(200, 64), x),
+    ]
+
+    def solve():
+        solver = Solver()
+        solver.extend(constraints)
+        return solver.check()
+
+    assert not benchmark(solve).sat
+
+
+def test_bench_symbolic_shift(benchmark):
+    """Barrel-shifter encoding: (1 << s) == 1024."""
+    s = mk_var("bs_s", 64)
+    constraint = mk_eq(
+        mk_binop("shl", mk_const(1, 64), s), mk_const(1024, 64)
+    )
+
+    def solve():
+        solver = Solver()
+        solver.add(constraint)
+        return solver.check()
+
+    result = benchmark(solve)
+    assert result.sat and result.model["bs_s"] == 10

@@ -1,0 +1,17 @@
+"""Table I: challenge -> error-stage matrix, regenerated from metadata."""
+
+from repro.bombs import CHALLENGE_ERROR_STAGES
+from repro.errors import ErrorStage
+from repro.eval import render_table1
+
+
+def test_table1(once):
+    text = once(render_table1)
+    print("\n" + text)
+    # Shape checks against the paper's Table I.
+    assert len(CHALLENGE_ERROR_STAGES) == 7
+    sv = CHALLENGE_ERROR_STAGES["Symbolic Variable Declaration"]
+    assert sv == {ErrorStage.ES0, ErrorStage.ES1, ErrorStage.ES2, ErrorStage.ES3}
+    for challenge in ("Symbolic Array", "Contextual Symbolic Value",
+                      "Symbolic Jump", "Floating-point Number"):
+        assert CHALLENGE_ERROR_STAGES[challenge] == {ErrorStage.ES3}

@@ -1,0 +1,50 @@
+"""Table II: the paper's headline experiment.
+
+Runs all 22 logic bombs against the four evaluated tool configurations,
+classifies every cell, and compares against the paper's reported
+labels.  The shape criteria from the paper:
+
+* every challenge retains at least one case no tool solves;
+* headline solve counts: BAP 2, Triton 1, the Angr family 4;
+* the per-cell agreement is reported (and must stay high).
+"""
+
+from repro.eval import render_table2, run_table2, verify_table1_against_observations
+
+
+def test_table2_full_matrix(once):
+    result = once(run_table2)
+    print("\n" + render_table2(result))
+
+    counts = result.solved_counts()
+    assert counts["bapx"] == 2, counts
+    assert counts["tritonx"] == 1, counts
+    assert result.solved_by_angr_family() == 4
+
+    # Paper: "for all the challenges, there exist at least one test case
+    # which cannot be handled by all the tools" — i.e. no challenge has a
+    # case that *every* configuration solves (the paper's own parallel
+    # rows each have one solving tool, so the stronger reading is false
+    # even for the original data).
+    from repro.bombs import CHALLENGES, TABLE2_BOMB_IDS, get_bomb
+    from repro.errors import ErrorStage
+
+    for prefix, challenge in CHALLENGES.items():
+        rows = [b for b in TABLE2_BOMB_IDS if b.startswith(prefix + "_")]
+        if not rows:
+            continue  # the extension set is not part of Table II
+        assert any(
+            any(result.cells[(b, t)].outcome is not ErrorStage.OK
+                for t in ("bapx", "tritonx", "angrx", "angrx_nolib"))
+            for b in rows
+        ), f"challenge {challenge} is fully solved by every tool"
+
+    match, total = result.agreement()
+    print(f"\ncell agreement with the paper: {match}/{total}")
+    assert match >= int(total * 0.9), "cell agreement dropped below 90%"
+
+    violations = verify_table1_against_observations(result)
+    assert not violations, violations
+
+    once.benchmark.extra_info["agreement"] = f"{match}/{total}"
+    once.benchmark.extra_info["solved"] = counts

@@ -1,0 +1,17 @@
+"""Benchmark configuration: every experiment runs once (pedantic mode);
+the numbers of interest are the experiment *outputs*, which are attached
+to the benchmark records as extra_info and printed."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    runner.benchmark = benchmark
+    return runner

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Audit the logic-bomb dataset with one of the evaluated tools.
+
+Reproduces one column of the paper's Table II on demand: pick a tool
+(bapx / tritonx / angrx / angrx_nolib / rexx) and a set of bombs, run
+the analysis, and print the classified outcome next to the label the
+paper reports for that cell.
+
+Run:  python examples/logic_bomb_audit.py tritonx sv_arglen cp_stack sa_l1_array
+      python examples/logic_bomb_audit.py angrx            # a fast subset
+"""
+
+import sys
+
+from repro.bombs import get_bomb
+from repro.eval import classify, run_cell
+
+FAST_SUBSET = [
+    "sv_time", "sv_arglen", "cp_stack", "cp_syscall",
+    "pp_pthread", "sa_l1_array", "cs_file_name", "sj_jump",
+]
+
+
+def main() -> None:
+    tool = sys.argv[1] if len(sys.argv) > 1 else "tritonx"
+    bomb_ids = sys.argv[2:] or FAST_SUBSET
+    print(f"auditing {len(bomb_ids)} bombs with {tool!r}\n")
+    print(f"{'bomb':20s} {'outcome':8s} {'paper':8s} {'time':>6s}  diagnostics")
+    print("-" * 78)
+    for bomb_id in bomb_ids:
+        bomb = get_bomb(bomb_id)
+        cell = run_cell(bomb, tool) if tool != "rexx" else None
+        if cell is None:
+            from repro.tools import get_tool
+
+            report = get_tool("rexx").analyze_bomb(bomb)
+            outcome = classify(report)
+            expected = "-"
+            elapsed = report.elapsed
+            diags = sorted({d.kind.value for d in report.diagnostics})
+        else:
+            outcome = cell.outcome
+            expected = cell.expected or "-"
+            elapsed = cell.report.elapsed
+            diags = sorted({d.kind.value for d in cell.report.diagnostics})
+        print(f"{bomb_id:20s} {str(outcome):8s} {expected:8s} "
+              f"{elapsed:5.1f}s  {', '.join(diags[:3])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — reproduction of "Concolic Execution on Small-Size Binaries:
+Challenges and Empirical Study" (Xu, Zhou, Kang, Lyu — DSN 2017).
+
+The package builds, from scratch, everything the paper's empirical study
+needs: the RX64 instruction set with assembler and binary format, a
+concrete VM with an OS layer, the BombC compiler the logic bombs are
+written in, an SMT stack with a CDCL SAT core, dynamic taint tracing, a
+trace-based concolic execution framework (the paper's Figure 1), an
+Angr-style static symbolic executor, and tool capability profiles whose
+genuine limits reproduce the paper's Table II.
+"""
+
+from .errors import Diagnostic, DiagnosticKind, DiagnosticLog, ErrorStage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticKind",
+    "DiagnosticLog",
+    "ErrorStage",
+    "__version__",
+]

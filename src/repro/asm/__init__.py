@@ -1,0 +1,6 @@
+"""RX64 assembler and disassembler."""
+
+from .assembler import Assembler, Module, Reloc, assemble
+from .disassembler import disassemble, format_listing
+
+__all__ = ["Assembler", "Module", "Reloc", "assemble", "disassemble", "format_listing"]

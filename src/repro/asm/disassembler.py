@@ -1,0 +1,35 @@
+"""Linear-sweep disassembler for RX64 code."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import VMError
+from ..isa import Instruction, decode
+
+
+def disassemble(data: bytes, base: int = 0) -> Iterator[Instruction]:
+    """Yield instructions decoded linearly from *data* mapped at *base*.
+
+    Stops at the first undecodable byte (data embedded in code).
+    """
+    view = memoryview(data)
+    pos = 0
+    while pos < len(view):
+        try:
+            instr = decode(view[pos:], base + pos)
+        except VMError:
+            return
+        yield instr
+        pos += instr.size
+
+
+def format_listing(data: bytes, base: int = 0, symbols: dict[int, str] | None = None) -> str:
+    """Render a human-readable listing, annotating symbol addresses."""
+    symbols = symbols or {}
+    lines = []
+    for instr in disassemble(data, base):
+        if instr.addr in symbols:
+            lines.append(f"{symbols[instr.addr]}:")
+        lines.append(f"  {instr.addr:#08x}: {instr}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""REXF binary image format and static linker."""
+
+from .image import FLAG_L, FLAG_W, FLAG_X, Image, Section, Symbol
+from .linker import TEXT_BASE, link
+
+__all__ = ["FLAG_L", "FLAG_W", "FLAG_X", "Image", "Section", "Symbol", "TEXT_BASE", "link"]

@@ -1,0 +1,140 @@
+"""Static linker: relocatable modules -> runnable REXF image.
+
+Layout (all sections page-aligned):
+
+========  ==========================  =============
+section   contents                    base
+========  ==========================  =============
+.text     program code                ``0x1000``
+.lib      library code (flag ``L``)   after .text
+.rodata   constants, strings          after .lib
+.data     initialized globals         after .rodata
+.bss      zero-initialized globals    after .data
+========  ==========================  =============
+
+Symbols defined inside ``.lib`` get kind ``lib``; everything else in an
+executable section is ``func``, data symbols are ``object``.  The entry
+point is the ``_start`` symbol.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..asm.assembler import Module
+from ..errors import LinkError
+from .image import FLAG_L, FLAG_W, FLAG_X, Image, Section, Symbol
+
+PAGE = 0x1000
+TEXT_BASE = 0x1000
+
+_SECTION_FLAGS = {
+    ".text": FLAG_X,
+    ".lib": FLAG_X | FLAG_L,
+    ".rodata": 0,
+    ".data": FLAG_W,
+    ".bss": FLAG_W,
+}
+
+_ORDER = (".text", ".lib", ".rodata", ".data", ".bss")
+
+
+def _align(value: int, alignment: int) -> int:
+    return -(-value // alignment) * alignment
+
+
+def link(modules: list[Module], entry: str = "_start") -> Image:
+    """Link *modules* into an executable image with entry symbol *entry*."""
+    # Per-module placement: (module index, section) -> offset within the
+    # merged section.
+    merged: dict[str, bytearray] = {name: bytearray() for name in _ORDER}
+    bss_total = 0
+    placement: dict[tuple[int, str], int] = {}
+
+    for mi, mod in enumerate(modules):
+        for name in _ORDER:
+            if name == ".bss":
+                placement[(mi, name)] = bss_total
+                bss_total += _align(mod.bss_size, 8)
+            elif name in mod.sections:
+                sec = merged[name]
+                while len(sec) % 8:
+                    sec.append(0)
+                placement[(mi, name)] = len(sec)
+                sec.extend(mod.sections[name])
+            else:
+                placement[(mi, name)] = len(merged[name])
+
+    # Assign virtual base addresses.
+    bases: dict[str, int] = {}
+    cursor = TEXT_BASE
+    for name in _ORDER:
+        bases[name] = cursor
+        size = bss_total if name == ".bss" else len(merged[name])
+        cursor = _align(cursor + max(size, 0), PAGE)
+
+    # Build the global symbol table.  A symbol defined in any module is
+    # visible everywhere except module-local labels (starting with ".L").
+    symbols: dict[str, Symbol] = {}
+    module_locals: list[dict[str, int]] = []
+    for mi, mod in enumerate(modules):
+        locals_here: dict[str, int] = {}
+        is_lib_module = ".lib" in mod.sections
+        for name, (sec, off) in mod.symbols.items():
+            addr = bases[sec] + placement[(mi, sec)] + off
+            if name.startswith(".L"):
+                locals_here[name] = addr
+                continue
+            if name in symbols:
+                raise LinkError(f"duplicate symbol {name!r} (module {mod.name})")
+            if sec == ".lib":
+                kind = "lib"
+            elif sec == ".text":
+                kind = "func"
+            elif is_lib_module:
+                # Data owned by a library unit (e.g. the PRNG state):
+                # tools that do not track taint through library-private
+                # state key off this.
+                kind = "lib_object"
+            else:
+                kind = "object"
+            symbols[name] = Symbol(name, addr, kind)
+        module_locals.append(locals_here)
+
+    # Resolve relocations.
+    for mi, mod in enumerate(modules):
+        for reloc in mod.relocs:
+            if reloc.symbol in module_locals[mi]:
+                target = module_locals[mi][reloc.symbol]
+            elif reloc.symbol in symbols:
+                target = symbols[reloc.symbol].addr
+            else:
+                raise LinkError(
+                    f"undefined symbol {reloc.symbol!r} referenced from {mod.name}"
+                )
+            target += reloc.addend
+            sec_off = placement[(mi, reloc.section)]
+            sec = merged[reloc.section]
+            pos = sec_off + reloc.offset
+            if reloc.kind == "abs64":
+                sec[pos : pos + 8] = struct.pack("<Q", target & ((1 << 64) - 1))
+            elif reloc.kind == "rel32":
+                end_addr = bases[reloc.section] + sec_off + reloc.insn_end
+                rel = target - end_addr
+                if not -(1 << 31) <= rel < (1 << 31):
+                    raise LinkError(f"rel32 overflow to {reloc.symbol!r}")
+                sec[pos : pos + 4] = struct.pack("<i", rel)
+            else:  # pragma: no cover - guarded by assembler
+                raise LinkError(f"unknown reloc kind {reloc.kind}")
+
+    sections = []
+    for name in _ORDER:
+        data = bytes(merged[name])
+        mem_size = bss_total if name == ".bss" else len(data)
+        if mem_size == 0:
+            continue
+        sections.append(Section(name, bases[name], data, _SECTION_FLAGS[name], mem_size))
+
+    if entry not in symbols:
+        raise LinkError(f"entry symbol {entry!r} not defined")
+    return Image(symbols[entry].addr, sections, symbols)

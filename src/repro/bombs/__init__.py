@@ -1,0 +1,29 @@
+"""The logic-bomb dataset (the paper's Section V.A, released open source)."""
+
+from .suite import (
+    ACCURACY_CHALLENGES,
+    ALL_BOMB_IDS,
+    CHALLENGE_ERROR_STAGES,
+    CHALLENGES,
+    SCALABILITY_CHALLENGES,
+    TABLE2_BOMB_IDS,
+    TOOL_COLUMNS,
+    Bomb,
+    all_bombs,
+    dataset_sizes,
+    get_bomb,
+)
+
+__all__ = [
+    "ACCURACY_CHALLENGES",
+    "ALL_BOMB_IDS",
+    "CHALLENGE_ERROR_STAGES",
+    "CHALLENGES",
+    "Bomb",
+    "SCALABILITY_CHALLENGES",
+    "TABLE2_BOMB_IDS",
+    "TOOL_COLUMNS",
+    "all_bombs",
+    "dataset_sizes",
+    "get_bomb",
+]

@@ -1,0 +1,93 @@
+; The symbolic-jump gadget: jmpr to jg_blocks + v*16.  Every block is
+; exactly 16 bytes (movi=10, ret=1, nop=1, jmp=5).  Block 7 escapes to
+; the bomb trampoline.
+
+.text
+.global jump_gadget
+jump_gadget:
+    muli r1, 16
+    movi r2, jg_blocks
+    add r2, r1
+    jmpr r2
+
+jg_blocks:
+    movi r0, 0          ; block 0
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 1          ; block 1
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 2          ; block 2
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 3          ; block 3
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 4          ; block 4
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 5          ; block 5
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 6          ; block 6
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    jmp .Ltrigger       ; block 7
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 8          ; block 8
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+    movi r0, 9          ; block 9
+    ret
+    nop
+    nop
+    nop
+    nop
+    nop
+
+.Ltrigger:
+    call bomb
+    movi r0, 7
+    ret

@@ -1,0 +1,46 @@
+; Jump-table gadget: load a code address from jt_table[v] and jmpr to it.
+
+.text
+.global jump_table_gadget
+jump_table_gadget:
+    muli r1, 8
+    movi r2, jt_table
+    add r2, r1
+    ld r3, [r2]
+    jmpr r3
+
+jt_b0:
+    movi r0, 0
+    ret
+jt_b1:
+    movi r0, 1
+    ret
+jt_b2:
+    movi r0, 2
+    ret
+jt_b3:
+    movi r0, 3
+    ret
+jt_b4:
+    movi r0, 4
+    ret
+jt_b5:
+    movi r0, 5
+    ret
+jt_b6:
+    movi r0, 6
+    ret
+jt_b7:
+    call bomb
+    movi r0, 7
+    ret
+jt_b8:
+    movi r0, 8
+    ret
+jt_b9:
+    movi r0, 9
+    ret
+
+.data
+.align 8
+jt_table: .quad jt_b0, jt_b1, jt_b2, jt_b3, jt_b4, jt_b5, jt_b6, jt_b7, jt_b8, jt_b9

@@ -1,0 +1,392 @@
+"""The logic-bomb dataset: 22 challenge programs + 2 auxiliary programs.
+
+Mirrors the paper's open-source dataset (Section V.A): each program
+plants a ``bomb()`` call behind one challenge; triggering it requires
+solving that challenge.  Every bomb ships with an *oracle* — the input
+and/or environment proven to trigger it on the concrete VM — grounding
+the success/failure classification, and with the outcome row the paper
+reports in Table II so the harness can compare shape.
+
+Bomb anatomy:
+
+* ``oracle_argv`` / ``oracle_env`` — the secret trigger.  When the
+  trigger is environmental (time, web, pid), tools restricted to argv
+  cannot find it: that *is* the Es0 challenge.
+* ``fixed_env`` — environment that is part of the bomb's world and
+  present on every replay (e.g. the key file for ``cs_file_name``).
+* ``seed_argv`` — the initial concrete input trace-based tools start
+  from (it must not trigger the bomb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+from ..binfmt import Image
+from ..errors import ErrorStage
+from ..lang import compile_sources
+from ..vm import Environment, Machine
+
+_SRC_DIR = Path(__file__).parent / "sources"
+
+#: Challenge name per bomb-id prefix (the paper's Table I rows plus the
+#: two scalability challenges).
+CHALLENGES = {
+    "sv": "Symbolic Variable Declaration",
+    "cp": "Covert Symbolic Propagation",
+    "pp": "Parallel Program",
+    "sa": "Symbolic Array",
+    "cs": "Contextual Symbolic Value",
+    "sj": "Symbolic Jump",
+    "fp": "Floating-point Number",
+    "ef": "External Function Call",
+    "cf": "Crypto Function",
+    "ext": "Extension (beyond the paper)",
+    "neg": "Negative bomb (Section V.C)",
+    "fig3": "Figure 3 program pair",
+}
+
+ACCURACY_CHALLENGES = ("sv", "cp", "pp", "sa", "cs", "sj", "fp")
+SCALABILITY_CHALLENGES = ("ef", "cf")
+
+#: The paper's Table I: which error stages each challenge can incur.
+CHALLENGE_ERROR_STAGES = {
+    "Symbolic Variable Declaration": {ErrorStage.ES0, ErrorStage.ES1,
+                                      ErrorStage.ES2, ErrorStage.ES3},
+    "Covert Symbolic Propagation": {ErrorStage.ES2, ErrorStage.ES3},
+    "Parallel Program": {ErrorStage.ES2, ErrorStage.ES3},
+    "Symbolic Array": {ErrorStage.ES3},
+    "Contextual Symbolic Value": {ErrorStage.ES3},
+    "Symbolic Jump": {ErrorStage.ES3},
+    "Floating-point Number": {ErrorStage.ES3},
+}
+
+#: Table II column order.
+TOOL_COLUMNS = ("bapx", "tritonx", "angrx", "angrx_nolib")
+
+
+@dataclass
+class Bomb:
+    """One dataset program."""
+
+    bomb_id: str
+    case: str                         # the paper's "Sample Case" wording
+    sources: list[str]                # .bc files in sources/
+    asm: list[str] = field(default_factory=list)
+    oracle_argv: list[bytes] | None = None
+    oracle_env: Environment | None = None
+    fixed_env: Environment | None = None
+    seed_argv: list[bytes] = field(default_factory=lambda: [b"1"])
+    expected: dict[str, str] = field(default_factory=dict)   # paper Table II row
+    expected_unreachable: bool = False
+    in_table2: bool = True
+
+    @property
+    def challenge(self) -> str:
+        return CHALLENGES[self.bomb_id.split("_")[0]]
+
+    @property
+    def scalability(self) -> bool:
+        return self.bomb_id.split("_")[0] in SCALABILITY_CHALLENGES
+
+    @property
+    def image(self) -> Image:
+        return _compile_bomb(self.bomb_id)
+
+    def base_env(self) -> Environment:
+        """The environment present on every run (fixed part of the bomb)."""
+        return (self.fixed_env or Environment()).clone()
+
+    def run(self, argv_tail: list[bytes], env: Environment | None = None,
+            max_steps: int = 2_000_000):
+        """Concretely execute the bomb with ``argv = [prog] + argv_tail``."""
+        run_env = self.base_env().merged(env)
+        machine = Machine(self.image, [self.bomb_id.encode()] + list(argv_tail), run_env)
+        return machine.run(max_steps)
+
+    def triggers(self, argv_tail: list[bytes], env: Environment | None = None) -> bool:
+        """Does this input (plus optional env overlay) fire the bomb?"""
+        return self.run(argv_tail, env).bomb_triggered
+
+    def verify_oracle(self) -> bool:
+        """Check the shipped oracle actually triggers (and the seed doesn't)."""
+        if self.expected_unreachable:
+            return not self.triggers(self.seed_argv)
+        argv = self.oracle_argv if self.oracle_argv is not None else self.seed_argv
+        if not self.triggers(argv, self.oracle_env):
+            return False
+        return not self.triggers(self.seed_argv)
+
+
+def _bomb_defs() -> list[Bomb]:
+    env = Environment  # alias for brevity
+    return [
+        Bomb(
+            "sv_time",
+            "Employ time info in conditions for triggering a bomb",
+            ["sv_time.bc"],
+            oracle_env=env(time_value=7777 * 218600 + 4321),
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "Es0", "angrx_nolib": "Es0"},
+        ),
+        Bomb(
+            "sv_web",
+            "Employ web contents in conditions for triggering a bomb",
+            ["sv_web.bc"],
+            oracle_env=env(network={"http://bomb.example/trigger": b"ok"}),
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "E", "angrx_nolib": "E"},
+        ),
+        Bomb(
+            "sv_syscall",
+            "Employ the return values of system calls in conditions",
+            ["sv_syscall.bc"],
+            oracle_env=env(pid=1024),
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "P", "angrx_nolib": "P"},
+        ),
+        Bomb(
+            "sv_arglen",
+            "Employ the length of argv[1] in conditions",
+            ["sv_arglen.bc"],
+            oracle_argv=[b"123456789"],
+            expected={"bapx": "Es2", "tritonx": "Es0", "angrx": "ok", "angrx_nolib": "ok"},
+        ),
+        Bomb(
+            "cp_stack",
+            "Push symbolic values into the stack and pop out",
+            ["cp_stack.bc"],
+            oracle_argv=[b"49"],
+            seed_argv=[b"11"],
+            expected={"bapx": "Es1", "tritonx": "ok", "angrx": "ok", "angrx_nolib": "ok"},
+        ),
+        Bomb(
+            "cp_file",
+            "Save symbolic values to a file and then read back",
+            ["cp_file.bc"],
+            oracle_argv=[b"147"],
+            seed_argv=[b"111"],
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "E", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "cp_syscall",
+            "Save symbolic values via system call and then read back",
+            ["cp_syscall.bc"],
+            oracle_argv=[b"23"],
+            seed_argv=[b"11"],
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "P", "angrx_nolib": "P"},
+        ),
+        Bomb(
+            "cp_exception",
+            "Change symbolic values in an exception (argv[1] = 77)",
+            ["cp_exception.bc"],
+            oracle_argv=[b"77"],
+            seed_argv=[b"55"],
+            expected={"bapx": "ok", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "cp_file_exception",
+            "Change symbolic values in an file operation exception",
+            ["cp_file_exception.bc"],
+            oracle_argv=[b"51"],
+            seed_argv=[b"11"],
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "pp_pthread",
+            "Change symbolic values in multi-threads via pthread",
+            ["pp_pthread.bc"],
+            oracle_argv=[b"4"],
+            expected={"bapx": "ok", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "pp_fork_pipe",
+            "Change symbolic values in multi-processes via fork/pipe",
+            ["pp_fork_pipe.bc"],
+            oracle_argv=[b"44"],
+            seed_argv=[b"11"],
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "ok"},
+        ),
+        Bomb(
+            "sa_l1_array",
+            "Employ symbolic values as offsets for a level-one array",
+            ["sa_l1_array.bc"],
+            oracle_argv=[b"6"],
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "ok", "angrx_nolib": "ok"},
+        ),
+        Bomb(
+            "sa_l2_array",
+            "Employ symbolic values as offsets for a level-two array",
+            ["sa_l2_array.bc"],
+            oracle_argv=[b"4"],
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3", "angrx_nolib": "Es3"},
+        ),
+        Bomb(
+            "cs_file_name",
+            "Employ symbolic values as the name of a file",
+            ["cs_file_name.bc"],
+            oracle_argv=[b"unlock.key"],
+            fixed_env=env(files={"unlock.key": b"K"}),
+            seed_argv=[b"nofile"],
+            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "cs_syscall_name",
+            "Employ symbolic values as the name of a system call",
+            ["cs_syscall_name.bc"],
+            oracle_argv=[b"19"],
+            seed_argv=[b"6"],
+            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "sj_jump",
+            "Employ symbolic values as unconditional jump addresses",
+            ["sj_jump.bc"],
+            asm=["sj_jump.s"],
+            oracle_argv=[b"7"],
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "sj_jump_array",
+            "Employ symbolic values as offsets to an address array",
+            ["sj_jump_array.bc"],
+            asm=["sj_jump_array.s"],
+            oracle_argv=[b"7"],
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3", "angrx_nolib": "Es3"},
+        ),
+        Bomb(
+            "fp_float",
+            "Employ floating-point numbers in symbolic conditions",
+            ["fp_float.bc"],
+            oracle_argv=[b"0.00001"],
+            seed_argv=[b"1.5"],
+            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es3"},
+        ),
+        Bomb(
+            "ef_sin",
+            "Employ symbolic values as the parameter of sin",
+            ["ef_sin.bc"],
+            oracle_argv=[b"15"],
+            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "ef_srand",
+            "Employ symbolic values as the parameter of srand",
+            ["ef_srand.bc"],
+            oracle_argv=[b"7"],
+            expected={"bapx": "Es2", "tritonx": "E", "angrx": "E", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "cf_sha1",
+            "Infer the plain text from an SHA1 result",
+            ["cf_sha1.bc"],
+            oracle_argv=[b"s3cret"],
+            seed_argv=[b"guess"],
+            expected={"bapx": "E", "tritonx": "E", "angrx": "E", "angrx_nolib": "Es2"},
+        ),
+        Bomb(
+            "cf_aes",
+            "Infer the key from an AES encryption result",
+            ["cf_aes.bc"],
+            oracle_argv=[b"k3y!"],
+            seed_argv=[b"guess"],
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+        ),
+        # -- auxiliary programs (not rows of Table II) --------------------
+        Bomb(
+            "neg_square",
+            "Negative bomb: pow(x, 2) == -1 is constant-false (Section V.C)",
+            ["neg_square.bc"],
+            expected_unreachable=True,
+            in_table2=False,
+        ),
+        Bomb(
+            "fig3_printf_on",
+            "Figure 3 program with the printing code enabled",
+            ["fig3_printf_on.bc"],
+            oracle_argv=[b"80"],
+            seed_argv=[b"11"],
+            in_table2=False,
+        ),
+        Bomb(
+            "fig3_printf_off",
+            "Figure 3 program with the printing code commented out",
+            ["fig3_printf_off.bc"],
+            oracle_argv=[b"80"],
+            seed_argv=[b"11"],
+            in_table2=False,
+        ),
+        # -- extension set: new challenges "following our approach" ------
+        Bomb(
+            "ext_loop",
+            "Input-dependent loop bound (the challenge the paper set aside)",
+            ["ext_loop.bc"],
+            oracle_argv=[b"100"],
+            seed_argv=[b"11"],
+            in_table2=False,
+        ),
+        Bomb(
+            "ext_stdin",
+            "Employ stdin contents in conditions for triggering a bomb",
+            ["ext_stdin.bc"],
+            oracle_env=env(stdin=b"31337"),
+            in_table2=False,
+        ),
+        Bomb(
+            "ext_xor_cipher",
+            "Infer the plain text from a repeating-XOR result (weak crypto)",
+            ["ext_xor_cipher.bc"],
+            oracle_argv=[b"s3cr3t"],
+            seed_argv=[b"abcdef"],
+            in_table2=False,
+        ),
+        Bomb(
+            "ext_two_args",
+            "Split the trigger across argv[1] and argv[2]",
+            ["ext_two_args.bc"],
+            oracle_argv=[b"13", b"17"],
+            seed_argv=[b"20", b"30"],
+            in_table2=False,
+        ),
+        Bomb(
+            "ext_combo",
+            "Compose a symbolic array with a kernel-mailbox round trip",
+            ["ext_combo.bc"],
+            oracle_argv=[b"6"],
+            in_table2=False,
+        ),
+    ]
+
+
+_BOMBS: dict[str, Bomb] = {b.bomb_id: b for b in _bomb_defs()}
+
+#: Ids of the 22 Table II bombs, in the paper's row order.
+TABLE2_BOMB_IDS = tuple(b.bomb_id for b in _BOMBS.values() if b.in_table2)
+
+#: All program ids including the auxiliary ones.
+ALL_BOMB_IDS = tuple(_BOMBS)
+
+
+@lru_cache(maxsize=None)
+def _compile_bomb(bomb_id: str) -> Image:
+    bomb = _BOMBS[bomb_id]
+    sources = [(name, (_SRC_DIR / name).read_text()) for name in bomb.sources]
+    asm_modules = [(name, (_SRC_DIR / name).read_text()) for name in bomb.asm]
+    return compile_sources(sources, asm_modules=asm_modules)
+
+
+def get_bomb(bomb_id: str) -> Bomb:
+    """Look up a bomb by id (see :data:`ALL_BOMB_IDS`)."""
+    try:
+        return _BOMBS[bomb_id]
+    except KeyError:
+        raise KeyError(f"unknown bomb {bomb_id!r}; known: {sorted(_BOMBS)}") from None
+
+
+def all_bombs(table2_only: bool = False) -> list[Bomb]:
+    """All bombs, in the paper's row order."""
+    return [b for b in _BOMBS.values() if b.in_table2 or not table2_only]
+
+
+def dataset_sizes() -> dict[str, int]:
+    """Serialized binary size per Table-II bomb (the Section V.A statistic)."""
+    return {bomb_id: get_bomb(bomb_id).image.file_size for bomb_id in TABLE2_BOMB_IDS}

@@ -1,0 +1,243 @@
+"""Command-line front end.
+
+One executable with subcommands mirroring the binutils-style workflow
+the paper's artifact users would expect::
+
+    repro cc prog.bc -o prog.rexf          # compile BombC
+    repro run prog.rexf -- arg1 arg2       # execute on the VM
+    repro dis prog.rexf                    # disassemble
+    repro nm prog.rexf                     # symbol table
+    repro taint prog.rexf -- 77            # taint summary of one run
+    repro solve --tool tritonx prog.rexf --seed 1
+    repro bombs                            # list the dataset
+    repro table2 --tools tritonx --bombs cp_stack sa_l1_array
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _load_image(path: str):
+    from .binfmt import Image
+
+    return Image.from_bytes(Path(path).read_bytes())
+
+
+def _parse_env(specs: list[str]):
+    """Parse ``--env key=value`` pairs into an Environment."""
+    from .vm import Environment
+
+    env = Environment()
+    for spec in specs or []:
+        key, _, value = spec.partition("=")
+        if key == "time":
+            env.time_value = int(value)
+        elif key == "pid":
+            env.pid = int(value)
+        elif key == "magic":
+            env.magic = int(value)
+        elif key.startswith("file:"):
+            env.files[key[5:]] = value.encode()
+        elif key.startswith("url:"):
+            env.network[key[4:]] = value.encode()
+        else:
+            raise SystemExit(f"unknown env key {key!r} "
+                             "(use time/pid/magic/file:<path>/url:<url>)")
+    return env
+
+
+# -- subcommands ------------------------------------------------------------
+
+def cmd_cc(args) -> int:
+    from .lang import compile_single
+
+    source = Path(args.source).read_text()
+    image = compile_single(source, Path(args.source).name)
+    out = args.output or (Path(args.source).stem + ".rexf")
+    Path(out).write_bytes(image.to_bytes())
+    print(f"{out}: {image.file_size} bytes, entry 0x{image.entry:x}, "
+          f"{len(image.symbols)} symbols")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .vm import Machine
+
+    image = _load_image(args.binary)
+    argv = [Path(args.binary).name.encode()] + [a.encode() for a in args.args]
+    result = Machine(image, argv, _parse_env(args.env)).run(args.max_steps)
+    sys.stdout.write(result.stdout.decode("latin1"))
+    if result.bomb_triggered:
+        print("[bomb triggered]", file=sys.stderr)
+    if result.timed_out:
+        print("[timed out]", file=sys.stderr)
+        return 124
+    return result.exit_code or 0
+
+
+def cmd_dis(args) -> int:
+    from .asm import format_listing
+
+    image = _load_image(args.binary)
+    symbols = image.symbols_by_addr()
+    for section in image.sections:
+        if not section.executable:
+            continue
+        if args.no_lib and section.library:
+            continue
+        print(f"; section {section.name} @ 0x{section.vaddr:x}")
+        print(format_listing(section.data, section.vaddr, symbols))
+    return 0
+
+
+def cmd_nm(args) -> int:
+    image = _load_image(args.binary)
+    for name, sym in sorted(image.symbols.items(), key=lambda kv: kv[1].addr):
+        print(f"0x{sym.addr:08x} {sym.kind:10s} {name}")
+    return 0
+
+
+def cmd_taint(args) -> int:
+    from .trace import taint_summary
+
+    image = _load_image(args.binary)
+    argv = [Path(args.binary).name.encode()] + [a.encode() for a in args.args]
+    summary = taint_summary(image, argv, _parse_env(args.env))
+    print(f"instructions executed : {summary.total_instructions}")
+    print(f"tainted instructions  : {summary.tainted_instructions} "
+          f"({summary.tainted_fraction:.1%})")
+    print(f"symbolic branches     : {summary.symbolic_branches}")
+    print(f"constraint-model nodes: {summary.model_nodes}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from .concolic import ConcolicEngine
+    from .symex import AngrEngine
+    from .tools.profiles import SYMEX_PROFILES, TRACE_PROFILES
+    from .vm import Machine
+
+    image = _load_image(args.binary)
+    seed = [s.encode() for s in (args.seed or ["1"])]
+    argv0 = Path(args.binary).name.encode()
+    if args.tool in TRACE_PROFILES:
+        report = ConcolicEngine(TRACE_PROFILES[args.tool]).run(
+            image, seed, _parse_env(args.env), argv0=argv0)
+        solved, solution = report.solved, report.solution
+        diags = report.diagnostics
+    elif args.tool in SYMEX_PROFILES or args.tool == "rexx":
+        if args.tool == "rexx":
+            from .tools.rexx import REXX as policy
+        else:
+            policy = SYMEX_PROFILES[args.tool]
+        engine = AngrEngine(image, policy)
+        raw = engine.explore(seed, argv0=argv0)
+        solution = None
+        for claim in raw.claimed_inputs:
+            replay = Machine(image, [argv0] + claim, _parse_env(args.env))
+            if replay.run().bomb_triggered:
+                solution = claim
+                break
+        solved = solution is not None
+        diags = raw.diagnostics
+    else:
+        raise SystemExit(f"unknown tool {args.tool!r}")
+    if solved:
+        print("SOLVED:", [s.decode("latin1") for s in solution])
+        return 0
+    print("not solved; diagnostics:")
+    for diag in diags:
+        print(f"  {diag}")
+    return 1
+
+
+def cmd_bombs(args) -> int:
+    from .bombs import all_bombs
+
+    for bomb in all_bombs():
+        marker = "  " if bomb.in_table2 else "* "
+        print(f"{marker}{bomb.bomb_id:20s} {bomb.challenge:30s} {bomb.case}")
+    print("\n(* = auxiliary program, not a Table II row)")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS
+    from .eval import render_table2, run_table2
+
+    bombs = tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS
+    tools = tuple(args.tools) if args.tools else TOOL_COLUMNS
+    result = run_table2(bomb_ids=bombs, tools=tools, verbose=True)
+    print()
+    print(render_table2(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concolic execution on small-size binaries — "
+                    "reproduction toolkit (DSN 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cc", help="compile a BombC source to a REXF binary")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_cc)
+
+    p = sub.add_parser("run", help="execute a REXF binary on the VM")
+    p.add_argument("binary")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--env", action="append", metavar="KEY=VALUE")
+    p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("dis", help="disassemble a REXF binary")
+    p.add_argument("binary")
+    p.add_argument("--no-lib", action="store_true",
+                   help="skip the library section")
+    p.set_defaults(func=cmd_dis)
+
+    p = sub.add_parser("nm", help="print the symbol table")
+    p.add_argument("binary")
+    p.set_defaults(func=cmd_nm)
+
+    p = sub.add_parser("taint", help="taint summary of one concrete run")
+    p.add_argument("binary")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--env", action="append", metavar="KEY=VALUE")
+    p.set_defaults(func=cmd_taint)
+
+    p = sub.add_parser("solve", help="hunt the bomb with a tool")
+    p.add_argument("binary")
+    p.add_argument("--tool", default="tritonx",
+                   help="bapx | tritonx | angrx | angrx_nolib | rexx")
+    p.add_argument("--seed", action="append", metavar="ARG")
+    p.add_argument("--env", action="append", metavar="KEY=VALUE")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("bombs", help="list the logic-bomb dataset")
+    p.set_defaults(func=cmd_bombs)
+
+    p = sub.add_parser("table2", help="run (a slice of) the Table II matrix")
+    p.add_argument("--bombs", nargs="*")
+    p.add_argument("--tools", nargs="*")
+    p.set_defaults(func=cmd_table2)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

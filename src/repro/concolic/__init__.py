@@ -1,0 +1,15 @@
+"""Trace-based concolic execution (the paper's Figure 1 framework)."""
+
+from .engine import ConcolicEngine, ConcolicReport, analyze
+from .policy import ToolPolicy
+from .replay import PathConstraint, ReplayResult, TraceReplayer
+
+__all__ = [
+    "ConcolicEngine",
+    "ConcolicReport",
+    "PathConstraint",
+    "ReplayResult",
+    "ToolPolicy",
+    "TraceReplayer",
+    "analyze",
+]

@@ -1,0 +1,649 @@
+"""Symbolic replay of a recorded trace (the paper's Figure 1 pipeline).
+
+The replayer walks the trace event stream, maintaining for every thread
+a *shadow* concrete state (re-derived by executing IL; syscall effects
+come from the recorded events) and a *symbolic* state (expressions over
+the argv input bytes).  It performs, in one pass, the paper's
+instruction-tracing, taint-filtering, lifting and constraint-extraction
+stages:
+
+* an instruction whose inputs carry symbolic expressions is *tainted*
+  (the Figure 3 metric);
+* conditional branches with symbolic flag state yield path constraints;
+* every capability gap in the :class:`~repro.concolic.policy.ToolPolicy`
+  triggers a structured diagnostic at the precise point the real tool
+  loses the plot.
+
+Shadow fidelity is unconditional: the concrete side always matches the
+traced machine (otherwise replay aborts with a divergence, classified as
+an engine crash).  Only the symbolic side degrades with the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binfmt import Image
+from ..errors import DiagnosticKind, DiagnosticLog, VMError
+from ..ir import il
+from ..ir.lifter import apply_binop, apply_fp_op, flag_condition, lift
+from ..isa import Op, instruction_size
+from ..smt import Expr, mk_binop, mk_bool_not, mk_concat_many, mk_const, mk_extract, mk_sext, mk_var, mk_zext
+from ..vm import Environment, Machine
+from ..vm.cpu import Context, bits_to_f32, bits_to_f64, u64
+from ..vm.machine import STACK_TOP
+from ..vm.syscalls import SIGRETURN_ADDR, THREAD_EXIT_ADDR, Sys
+from ..errors import SolverError
+from .policy import ToolPolicy
+from ..trace.record import SignalEvent, StepEvent, SyscallEvent, Trace
+
+MASK64 = (1 << 64) - 1
+
+
+class ReplayAbort(Exception):
+    """Replay cannot continue (divergence or internal engine failure)."""
+
+
+class _ReplayTruncated(Exception):
+    """Replay ends early but cleanly (tool cannot lift past this point)."""
+
+
+@dataclass
+class PathConstraint:
+    """One constraint that held on the replayed trace."""
+
+    expr: Expr          # oriented: true on this trace
+    pc: int
+    kind: str           # "branch" | "div-guard"
+    index: int
+
+    def negated(self) -> Expr:
+        return mk_bool_not(self.expr)
+
+
+@dataclass
+class ReplayResult:
+    """Everything the concolic driver needs from one replay."""
+
+    constraints: list[PathConstraint] = field(default_factory=list)
+    diagnostics: DiagnosticLog = field(default_factory=DiagnosticLog)
+    tainted_instructions: int = 0
+    total_instructions: int = 0
+    var_layout: dict[str, tuple[int, int]] = field(default_factory=dict)
+    seed_argv: list[bytes] = field(default_factory=list)
+    aborted: str | None = None
+
+
+class _ShadowThread:
+    """Concrete + symbolic state of one traced thread."""
+
+    __slots__ = ("ctx", "sym_regs", "sym_fregs", "sym_flags", "sig_frames",
+                 "awaiting_syscall", "dead", "faulted")
+
+    def __init__(self, ctx: Context):
+        self.ctx = ctx
+        self.sym_regs: dict[int, Expr] = {}
+        self.sym_fregs: dict[int, Expr] = {}
+        # (kind, a_conc, a_sym, b_conc, b_sym) or None when concrete.
+        self.sym_flags: tuple | None = None
+        self.sig_frames: list[tuple] = []
+        self.awaiting_syscall = False
+        self.dead = False
+        self.faulted = False
+
+
+class TraceReplayer:
+    """Replays one trace under a tool policy."""
+
+    def __init__(self, image: Image, policy: ToolPolicy,
+                 diagnostics: DiagnosticLog | None = None):
+        self.image = image
+        self.policy = policy
+        self.diags = diagnostics if diagnostics is not None else DiagnosticLog()
+        self.lib_data_ranges = image.lib_object_ranges()
+
+    # -- public -----------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayResult:
+        result = ReplayResult(diagnostics=self.diags, seed_argv=list(trace.argv))
+        machine = Machine(self.image, trace.argv, Environment())
+        proc = machine.processes[machine.main_pid]
+        self.memory = proc.memory
+        main_thread = proc.threads[0]
+        self.threads: dict[int, _ShadowThread] = {
+            main_thread.tid: _ShadowThread(main_thread.ctx)
+        }
+        self.sym_mem: dict[int, tuple[Expr, int | None]] = {}
+        self._beyond_argv: set[int] = set()
+        self._beyond_flagged = False
+        self.env_escaped = False
+        self.result = result
+        self._declare_argv(trace, result)
+
+        try:
+            for event in trace.events:
+                if isinstance(event, StepEvent):
+                    self._step(event)
+                elif isinstance(event, SyscallEvent):
+                    self._apply_syscall(event)
+                elif isinstance(event, SignalEvent):
+                    self._apply_signal(event)
+        except _ReplayTruncated:
+            pass  # clean early stop; constraints so far remain usable
+        except ReplayAbort as err:
+            result.aborted = str(err)
+            self.diags.emit(DiagnosticKind.ENGINE_CRASH, str(err))
+        return result
+
+    # -- argv declaration (the Es0-prone stage) --------------------------------
+
+    def _declare_argv(self, trace: Trace, result: ReplayResult) -> None:
+        policy = self.policy
+        if policy.argv_model == "per-byte":
+            # Length frozen at the seed's: a faithful statement about the
+            # declaration step, recorded as a diagnostic up front.
+            self.diags.emit(
+                DiagnosticKind.CONCRETE_LENGTH,
+                "argv declared with the seed's concrete length",
+            )
+        for k, (addr, length) in enumerate(trace.argv_regions):
+            if k == 0:
+                continue  # argv[0] is the program name
+            for i in range(length):
+                name = f"arg{k}_{i}"
+                var = mk_var(name, 8)
+                self.sym_mem[addr + i] = (var, None)
+                result.var_layout[name] = (k, i)
+            if policy.argv_model == "word8":
+                for i in range(length, 8):
+                    self._beyond_argv.add(addr + i)
+
+    # -- value plumbing -----------------------------------------------------------
+
+    def _get(self, th: _ShadowThread, tmps: dict, src) -> tuple[int, Expr | None]:
+        if isinstance(src, il.ConstRef):
+            return src.value & MASK64, None
+        if isinstance(src, il.RegRef):
+            return th.ctx.regs[src.index], th.sym_regs.get(src.index)
+        if isinstance(src, il.FRegRef):
+            return th.ctx.fregs[src.index], th.sym_fregs.get(src.index)
+        return tmps[src.index]
+
+    def _set(self, th: _ShadowThread, tmps: dict, dst, conc: int,
+             sym: Expr | None) -> None:
+        conc &= MASK64
+        if isinstance(dst, il.RegRef):
+            th.ctx.regs[dst.index] = conc
+            if sym is None:
+                th.sym_regs.pop(dst.index, None)
+            else:
+                th.sym_regs[dst.index] = sym
+        elif isinstance(dst, il.FRegRef):
+            th.ctx.fregs[dst.index] = conc
+            if sym is None:
+                th.sym_fregs.pop(dst.index, None)
+            else:
+                th.sym_fregs[dst.index] = sym
+        else:
+            tmps[dst.index] = (conc, sym)
+
+    @staticmethod
+    def _expr_of(conc: int, sym: Expr | None, width: int = 64) -> Expr:
+        return sym if sym is not None else mk_const(conc, width)
+
+    # -- memory ----------------------------------------------------------------------
+
+    def _mem_load(self, th, addr: int, width: int, signed: bool,
+                  tid: int) -> tuple[int, Expr | None]:
+        conc = self.memory.read_uint(addr, width)
+        if signed:
+            from ..vm.cpu import sext as csext
+
+            conc_val = csext(conc, width * 8)
+        else:
+            conc_val = conc
+        if not self._beyond_flagged and any(
+            addr + i in self._beyond_argv for i in range(width)
+        ):
+            self._beyond_flagged = True
+            self.diags.emit(
+                DiagnosticKind.FIXED_WORD_ARGV,
+                "read past the seed argv terminator under the fixed-word model",
+            )
+        byte_exprs = []
+        any_sym = False
+        for i in range(width):
+            entry = self.sym_mem.get(addr + i)
+            if entry is None:
+                byte_exprs.append(mk_const((conc >> (8 * i)) & 0xFF, 8))
+                continue
+            expr, writer = entry
+            if (writer is not None and writer != tid
+                    and not self.policy.cross_thread_taint):
+                self.diags.emit(
+                    DiagnosticKind.CROSS_THREAD_LOST,
+                    f"read of thread-{writer} data from thread {tid}",
+                )
+                byte_exprs.append(mk_const((conc >> (8 * i)) & 0xFF, 8))
+                continue
+            any_sym = True
+            byte_exprs.append(expr)
+        if not any_sym:
+            return conc_val, None
+        sym = mk_concat_many(list(reversed(byte_exprs)))
+        sym = mk_sext(sym, 64) if signed else mk_zext(sym, 64)
+        return conc_val, sym
+
+    def _mem_store(self, th, addr: int, width: int, conc: int,
+                   sym: Expr | None, tid: int, pc: int) -> None:
+        self.memory.write_uint(addr, conc, width)
+        if sym is not None and not self.policy.lib_data_taint:
+            if any(lo <= addr < hi for lo, hi in self.lib_data_ranges):
+                self.diags.emit(
+                    DiagnosticKind.TAINT_LOST,
+                    "store into library-private data not instrumented",
+                    pc,
+                )
+                sym = None
+        for i in range(width):
+            if sym is None:
+                self.sym_mem.pop(addr + i, None)
+            else:
+                self.sym_mem[addr + i] = (mk_extract(sym, 8 * i + 7, 8 * i), tid)
+
+    def _clear_sym_range(self, addr: int, length: int) -> None:
+        for i in range(length):
+            self.sym_mem.pop(addr + i, None)
+
+    # -- instruction interpretation -------------------------------------------------
+
+    def _step(self, event: StepEvent) -> None:
+        th = self.threads.get(event.tid)
+        if th is None or th.dead:
+            raise ReplayAbort(f"step for unknown/dead thread {event.tid}")
+        instr = event.instr
+        if th.awaiting_syscall:
+            if instr.op is Op.SYSCALL and instr.addr == th.ctx.pc:
+                return  # blocked retry of the same syscall
+            raise ReplayAbort("unexpected step while awaiting syscall result")
+        if th.ctx.pc != instr.addr:
+            raise ReplayAbort(
+                f"divergence: shadow pc 0x{th.ctx.pc:x} vs trace 0x{instr.addr:x}"
+            )
+        self.result.total_instructions += 1
+        tmps: dict[int, tuple[int, Expr | None]] = {}
+        tainted = False
+        next_pc = instr.next_addr
+        tid = event.tid
+        pc = instr.addr
+
+        for stmt in lift(instr):
+            if isinstance(stmt, il.Move):
+                conc, sym = self._get(th, tmps, stmt.src)
+                tainted |= sym is not None
+                self._set(th, tmps, stmt.dst, conc, sym)
+            elif isinstance(stmt, il.BinOp):
+                taken = self._do_binop(th, tmps, stmt, pc)
+                if taken == "fault":
+                    th.faulted = True
+                    return  # SignalEvent (or process death) follows
+                tainted |= taken
+            elif isinstance(stmt, il.UnOp):
+                conc, sym = self._get(th, tmps, stmt.a)
+                tainted |= sym is not None
+                res = (~conc) & MASK64
+                res_sym = None if sym is None else mk_binop(
+                    "xor", sym, mk_const(MASK64, 64))
+                if stmt.set_flags:
+                    th.ctx.flags.set_logic(res)
+                    th.sym_flags = None if res_sym is None else (
+                        "logic", res, res_sym, 0, None)
+                self._set(th, tmps, stmt.dst, res, res_sym)
+            elif isinstance(stmt, il.Lea):
+                conc, sym = self._get(th, tmps, stmt.base)
+                addr = u64(conc + stmt.disp)
+                sym_addr = None
+                if sym is not None:
+                    tainted = True
+                    sym_addr = mk_binop("add", sym, mk_const(stmt.disp, 64))
+                self._set(th, tmps, stmt.dst, addr, sym_addr)
+            elif isinstance(stmt, il.Load):
+                addr_conc, addr_sym = self._get(th, tmps, stmt.addr)
+                if addr_sym is not None:
+                    tainted = True
+                    if not self.policy.symbolic_addressing:
+                        self.diags.emit(
+                            DiagnosticKind.MEM_ADDR_CONCRETIZED,
+                            "load address depends on input; concretized to trace value",
+                            pc,
+                        )
+                conc, sym = self._mem_load(th, addr_conc, stmt.width,
+                                           stmt.signed, tid)
+                tainted |= sym is not None
+                self._set(th, tmps, stmt.dst, conc, sym)
+            elif isinstance(stmt, il.Store):
+                addr_conc, addr_sym = self._get(th, tmps, stmt.addr)
+                if addr_sym is not None:
+                    tainted = True
+                    if not self.policy.symbolic_addressing:
+                        self.diags.emit(
+                            DiagnosticKind.MEM_ADDR_CONCRETIZED,
+                            "store address depends on input; concretized to trace value",
+                            pc,
+                        )
+                conc, sym = self._get(th, tmps, stmt.value)
+                tainted |= sym is not None
+                self._mem_store(th, addr_conc, stmt.width, conc, sym, tid, pc)
+            elif isinstance(stmt, il.SetFlags):
+                a_conc, a_sym = self._get(th, tmps, stmt.a)
+                b_conc, b_sym = self._get(th, tmps, stmt.b)
+                tainted |= a_sym is not None or b_sym is not None
+                from ..vm.cpu import alu as _alu
+
+                if stmt.kind == "sub":
+                    _alu("sub", a_conc, b_conc, th.ctx.flags)
+                else:  # test
+                    th.ctx.flags.set_logic(a_conc & b_conc)
+                if a_sym is None and b_sym is None:
+                    th.sym_flags = None
+                else:
+                    th.sym_flags = (stmt.kind, a_conc, a_sym, b_conc, b_sym)
+            elif isinstance(stmt, il.CondBranch):
+                taken = th.ctx.flags.condition(stmt.cc)
+                if th.sym_flags is not None:
+                    tainted = True
+                    self._branch_constraint(th, stmt, taken, pc)
+                next_pc = stmt.target if taken else instr.next_addr
+            elif isinstance(stmt, il.Jump):
+                conc, sym = self._get(th, tmps, stmt.target)
+                if sym is not None:
+                    tainted = True
+                    if not self.policy.symbolic_jump:
+                        self.diags.emit(
+                            DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
+                            "indirect jump target depends on input",
+                            pc,
+                        )
+                next_pc = conc
+            elif isinstance(stmt, il.Call):
+                conc, sym = self._get(th, tmps, stmt.target)
+                if sym is not None:
+                    tainted = True
+                    if not self.policy.symbolic_jump:
+                        self.diags.emit(
+                            DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
+                            "indirect call target depends on input",
+                            pc,
+                        )
+                sp = u64(th.ctx.regs[15] - 8)
+                th.ctx.regs[15] = sp
+                self.memory.write_u64(sp, stmt.return_addr)
+                self._clear_sym_range(sp, 8)
+                next_pc = conc
+            elif isinstance(stmt, il.Ret):
+                sp = th.ctx.regs[15]
+                next_pc = self.memory.read_u64(sp)
+                th.ctx.regs[15] = u64(sp + 8)
+                if next_pc == SIGRETURN_ADDR:
+                    self._sigreturn(th)
+                    return
+                if next_pc == THREAD_EXIT_ADDR:
+                    th.dead = True
+                    return
+            elif isinstance(stmt, il.Push):
+                conc, sym = self._get(th, tmps, stmt.src)
+                tainted |= sym is not None
+                sp = u64(th.ctx.regs[15] - 8)
+                th.ctx.regs[15] = sp
+                if not self.policy.lifts_stack_memory and sym is not None:
+                    self.diags.emit(
+                        DiagnosticKind.LIFT_INCOMPLETE,
+                        "push lifted without memory effect; value dropped",
+                        pc,
+                    )
+                    sym = None
+                self._mem_store(th, sp, 8, conc, sym, tid, pc)
+            elif isinstance(stmt, il.Pop):
+                sp = th.ctx.regs[15]
+                conc, sym = self._mem_load(th, sp, 8, False, tid)
+                tainted |= sym is not None
+                if not self.policy.lifts_stack_memory and sym is not None:
+                    self.diags.emit(
+                        DiagnosticKind.LIFT_INCOMPLETE,
+                        "pop lifted without memory effect; value dropped",
+                        pc,
+                    )
+                    sym = None
+                th.ctx.regs[15] = u64(sp + 8)
+                self._set(th, tmps, stmt.dst, conc, sym)
+            elif isinstance(stmt, il.Syscall):
+                th.awaiting_syscall = True
+                return  # pc advances when the SyscallEvent arrives
+            elif isinstance(stmt, il.Halt):
+                th.dead = True
+                return
+            elif isinstance(stmt, il.FpOp):
+                tainted |= self._do_fpop(th, tmps, stmt, pc)
+            elif isinstance(stmt, il.FpFlags):
+                a_conc, a_sym = self._get(th, tmps, stmt.a)
+                b_conc, b_sym = self._get(th, tmps, stmt.b)
+                if stmt.kind == "fcmp32":
+                    th.ctx.flags.set_fcmp(bits_to_f32(a_conc), bits_to_f32(b_conc))
+                else:
+                    th.ctx.flags.set_fcmp(bits_to_f64(a_conc), bits_to_f64(b_conc))
+                if a_sym is None and b_sym is None:
+                    th.sym_flags = None
+                elif not self.policy.supports_fp:
+                    tainted = True
+                    self.diags.emit(
+                        DiagnosticKind.LIFT_UNSUPPORTED,
+                        f"{stmt.kind} not covered by the lifter",
+                        pc,
+                    )
+                    th.sym_flags = None
+                else:
+                    tainted = True
+                    th.sym_flags = (stmt.kind, a_conc, a_sym, b_conc, b_sym)
+            elif isinstance(stmt, il.DivGuard):
+                conc, sym = self._get(th, tmps, stmt.divisor)
+                if self.policy.div_guard and sym is not None:
+                    tainted = True
+                    from ..smt import mk_eq
+
+                    cond = mk_eq(sym, mk_const(0, 64))
+                    oriented = cond if conc == 0 else mk_bool_not(cond)
+                    self._push_constraint(oriented, pc, "div-guard")
+            else:  # pragma: no cover
+                raise ReplayAbort(f"unhandled IL stmt {stmt}")
+
+        th.ctx.pc = next_pc
+        if tainted:
+            self.result.tainted_instructions += 1
+
+    def _do_binop(self, th, tmps, stmt: il.BinOp, pc: int):
+        from ..vm.cpu import alu as _alu
+
+        a_conc, a_sym = self._get(th, tmps, stmt.a)
+        b_conc, b_sym = self._get(th, tmps, stmt.b)
+        alu_name = {"lshr": "shr", "ashr": "sar"}.get(stmt.op, stmt.op)
+        try:
+            res = _alu(alu_name, a_conc, b_conc,
+                       th.ctx.flags if stmt.set_flags else None)
+        except VMError:
+            return "fault"
+        res_sym = None
+        if a_sym is not None or b_sym is not None:
+            a_expr = self._expr_of(a_conc, a_sym)
+            b_expr = self._expr_of(b_conc, b_sym)
+            try:
+                res_sym = apply_binop(stmt.op, a_expr, b_expr)
+            except SolverError as err:
+                self.diags.emit(DiagnosticKind.UNSUPPORTED_THEORY, str(err), pc)
+                res_sym = None
+        if stmt.set_flags:
+            if res_sym is None:
+                th.sym_flags = None
+            else:
+                th.sym_flags = ("logic", res, res_sym, 0, None)
+        self._set(th, tmps, stmt.dst, res, res_sym)
+        return a_sym is not None or b_sym is not None
+
+    def _do_fpop(self, th, tmps, stmt: il.FpOp, pc: int) -> bool:
+        concs = []
+        syms = []
+        for src in stmt.srcs:
+            conc, sym = self._get(th, tmps, src)
+            concs.append(conc)
+            syms.append(sym)
+        conc_expr = apply_fp_op(stmt.op, [mk_const(c, 64) for c in concs])
+        assert conc_expr.is_const
+        any_sym = any(s is not None for s in syms)
+        res_sym = None
+        if any_sym:
+            if self.policy.supports_fp:
+                res_sym = apply_fp_op(
+                    stmt.op,
+                    [self._expr_of(c, s) for c, s in zip(concs, syms)],
+                )
+            else:
+                self.diags.emit(
+                    DiagnosticKind.LIFT_UNSUPPORTED,
+                    f"{stmt.op} not covered by the lifter",
+                    pc,
+                )
+        self._set(th, tmps, stmt.dst, conc_expr.value, res_sym)
+        return any_sym
+
+    def _branch_constraint(self, th, stmt: il.CondBranch, taken: bool,
+                           pc: int) -> None:
+        kind, a_conc, a_sym, b_conc, b_sym = th.sym_flags
+        if kind.startswith("fcmp") and not self.policy.supports_fp:
+            self.diags.emit(
+                DiagnosticKind.LIFT_UNSUPPORTED,
+                "fp compare feeding a branch not covered",
+                pc,
+            )
+            return
+        width = 64
+        a_expr = a_sym if a_sym is not None else mk_const(a_conc, width)
+        if kind == "logic":
+            b_expr = None
+            cond = flag_condition("logic", a_expr if a_sym is not None
+                                  else mk_const(a_conc, width), None, stmt.cc)
+        else:
+            b_expr = b_sym if b_sym is not None else mk_const(b_conc, width)
+            cond = flag_condition(kind, a_expr, b_expr, stmt.cc)
+        oriented = cond if taken else mk_bool_not(cond)
+        self._push_constraint(oriented, pc, "branch")
+
+    def _push_constraint(self, expr: Expr, pc: int, kind: str) -> None:
+        if expr.is_const:
+            return  # degenerated to a constant; nothing to negate
+        self.result.constraints.append(
+            PathConstraint(expr, pc, kind, len(self.result.constraints))
+        )
+
+    # -- events --------------------------------------------------------------------
+
+    def _apply_syscall(self, event: SyscallEvent) -> None:
+        th = self.threads.get(event.tid)
+        if th is None:
+            raise ReplayAbort(f"syscall event for unknown thread {event.tid}")
+        th.awaiting_syscall = False
+        nr = event.nr
+        pc = th.ctx.pc
+
+        self._syscall_diagnostics(th, event, pc)
+
+        # Result and memory effects are environment data: concrete.
+        th.ctx.regs[0] = event.ret & MASK64
+        th.sym_regs.pop(0, None)
+        for addr, data in event.writes:
+            self.memory.write(addr, data)
+            self._clear_sym_range(addr, len(data))
+        th.ctx.pc = u64(pc + instruction_size(Op.SYSCALL))
+
+        if nr == Sys.THREAD_CREATE and event.ret > 0:
+            entry, arg, stack_top = event.args[0], event.args[1], event.args[2]
+            ctx = Context(pc=entry)
+            ctx.regs[1] = arg
+            ctx.regs[15] = u64(stack_top - 8)
+            self.memory.write_u64(ctx.regs[15], THREAD_EXIT_ADDR)
+            self._clear_sym_range(ctx.regs[15], 8)
+            new = _ShadowThread(ctx)
+            if 1 in th.sym_regs:
+                new.sym_regs[1] = th.sym_regs[1]
+            self.threads[event.ret] = new
+        elif nr in (Sys.EXIT, Sys.BOMB):
+            th.dead = True
+
+    def _syscall_diagnostics(self, th, event: SyscallEvent, pc: int) -> None:
+        nr = event.nr
+        policy = self.policy
+        env_kind = (DiagnosticKind.TAINT_LOST if policy.env_arg_diag == "es2"
+                    else DiagnosticKind.UNSUPPORTED_THEORY)
+
+        if 0 in th.sym_regs:
+            self.diags.emit(env_kind, "syscall number depends on input", pc)
+        if nr in (Sys.OPEN, Sys.UNLINK):
+            path_addr = event.args[0]
+            path = self.memory.read_cstr(path_addr)
+            if any(addr in self.sym_mem
+                   for addr in range(path_addr, path_addr + len(path))):
+                self.diags.emit(env_kind, "syscall path argument depends on input", pc)
+        elif nr == Sys.WRITE:
+            buf, length = event.args[1], event.args[2]
+            if any(addr in self.sym_mem for addr in range(buf, buf + min(length, 256))):
+                self.env_escaped = True
+        elif nr == Sys.MSGSEND:
+            if 1 in th.sym_regs:
+                self.env_escaped = True
+        elif nr in (Sys.READ, Sys.MSGRECV, Sys.HTTP_GET):
+            if self.env_escaped:
+                self.diags.emit(
+                    DiagnosticKind.TAINT_LOST,
+                    "input-derived data round-tripped through the environment",
+                    pc,
+                )
+        elif nr == Sys.FORK:
+            self.diags.emit(
+                DiagnosticKind.CROSS_PROCESS_LOST,
+                "child process not traced; cross-process dataflow invisible",
+                pc,
+            )
+
+    def _apply_signal(self, event: SignalEvent) -> None:
+        th = self.threads.get(event.tid)
+        if th is None:
+            raise ReplayAbort(f"signal for unknown thread {event.tid}")
+        th.faulted = False
+        if not self.policy.signal_trace:
+            # The tool cannot stitch the trace discontinuity back
+            # together; everything past this point is unanalyzable.
+            self.diags.emit(
+                DiagnosticKind.LIFT_INCOMPLETE,
+                "signal delivery breaks the trace; lifting stops here",
+            )
+            raise _ReplayTruncated()
+        sym_frame = (dict(th.sym_regs), dict(th.sym_fregs), th.sym_flags)
+        th.sig_frames.append((th.ctx.clone(), sym_frame, event.resume_pc))
+        # Shadow concrete state must mirror the machine either way.
+        ctx = th.ctx
+        ctx.regs[15] = u64(ctx.regs[15] - 8)
+        self.memory.write_u64(ctx.regs[15], SIGRETURN_ADDR)
+        self._clear_sym_range(ctx.regs[15], 8)
+        ctx.regs[1] = event.signo
+        th.sym_regs.pop(1, None)
+        ctx.pc = event.handler
+
+    def _sigreturn(self, th: _ShadowThread) -> None:
+        if not th.sig_frames:
+            raise ReplayAbort("sigreturn without a pending signal frame")
+        saved_ctx, (saved_regs, saved_fregs, saved_flags), resume = th.sig_frames.pop()
+        # Handler side effects on memory persist; the register file (and,
+        # for signal-aware tools, the symbolic register state) restores.
+        saved_ctx.pc = resume
+        th.ctx = saved_ctx
+        th.sym_regs = saved_regs
+        th.sym_fregs = saved_fregs
+        th.sym_flags = saved_flags

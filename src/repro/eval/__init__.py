@@ -1,0 +1,26 @@
+"""Evaluation harness reproducing the paper's Section V."""
+
+from .classify import CONCRETIZATION_THRESHOLD, classify
+from .figures import DatasetStats, Figure3Result, run_dataset_stats, run_figure3
+from .harness import CellResult, Table2Result, run_cell, run_negative_bomb, run_table2
+from .report import render_markdown_report, unsolved_cases
+from .tables import render_table1, render_table2, verify_table1_against_observations
+
+__all__ = [
+    "CONCRETIZATION_THRESHOLD",
+    "CellResult",
+    "DatasetStats",
+    "Figure3Result",
+    "Table2Result",
+    "classify",
+    "render_markdown_report",
+    "render_table1",
+    "render_table2",
+    "run_cell",
+    "run_dataset_stats",
+    "run_figure3",
+    "run_negative_bomb",
+    "run_table2",
+    "unsolved_cases",
+    "verify_table1_against_observations",
+]

@@ -1,0 +1,82 @@
+"""Outcome classification: diagnostics + replay result -> Table II cell.
+
+The paper labels each (bomb, tool) cell with the error stage of the
+*root cause*.  Engines here emit structured diagnostics at the point
+they lose fidelity; this module turns a run's diagnostic set into one
+label using explicit precedence rules:
+
+1. A validated solution is a success regardless of diagnostics.
+2. Abnormal termination (resource budgets, engine crash, unsupported
+   syscall) is ``E`` — the paper's timeout/memory-out/abort bucket.
+3. A *claimed* but non-replaying solution whose root diagnostic is a
+   simulated system-call value is ``P`` (partial success), matching the
+   paper's definition of that label.
+4. Lifting gaps (Es1) dominate: any propagation or modeling error
+   downstream of an unliftable instruction is a consequence, not a
+   cause.
+5. Constraint-modeling gaps (Es3: unmodeled memory, symbolic jumps,
+   missing theories) — *unless* concretization was systematic
+   (more than :data:`CONCRETIZATION_THRESHOLD` events), in which case
+   the dataflow itself was corrupted at scale and the observable root
+   cause is propagation (Es2).  This mirrors the paper's split between
+   the one-off symbolic-array cells (Es3) and the AES cell (Es2).
+6. Propagation losses (Es2).
+7. Declaration gaps (Es0).
+"""
+
+from __future__ import annotations
+
+from ..errors import DiagnosticKind as K
+from ..errors import ErrorStage
+from ..tools.api import ToolReport
+
+#: Above this many concretization events, failures classify as Es2
+#: (systematically corrupted dataflow) rather than Es3.
+CONCRETIZATION_THRESHOLD = 64
+
+_E_KINDS = {K.RESOURCE_EXHAUSTED, K.ENGINE_CRASH, K.UNSUPPORTED_SYSCALL}
+_ES1_KINDS = {K.LIFT_UNSUPPORTED, K.LIFT_INCOMPLETE}
+_ES3_KINDS = {K.MEM_ADDR_CONCRETIZED, K.SYMBOLIC_JUMP_UNMODELED,
+              K.UNSUPPORTED_THEORY, K.UNMODELED_MEMORY_REF}
+_ES2_KINDS = {K.TAINT_LOST, K.CONCRETIZED_ENV, K.CROSS_THREAD_LOST,
+              K.CROSS_PROCESS_LOST, K.CONCRETIZED_READ, K.CONCRETIZED_JUMP}
+_CONCRETIZATION_KINDS = {K.MEM_ADDR_CONCRETIZED, K.CONCRETIZED_READ,
+                         K.UNMODELED_MEMORY_REF}
+
+
+def classify(report: ToolReport) -> ErrorStage:
+    """Map one tool run to its Table II outcome label."""
+    if report.solved:
+        return ErrorStage.OK
+
+    kinds = report.diag_kinds()
+
+    if report.aborted is not None or kinds & _E_KINDS:
+        return ErrorStage.E
+
+    if report.goal_claimed and K.SIMULATED_SYSCALL_VALUE in kinds:
+        return ErrorStage.P
+
+    if kinds & _ES1_KINDS:
+        return ErrorStage.ES1
+
+    if kinds & _ES3_KINDS:
+        concretizations = sum(
+            1 for d in report.diagnostics if d.kind in _CONCRETIZATION_KINDS
+        )
+        if concretizations > CONCRETIZATION_THRESHOLD:
+            return ErrorStage.ES2
+        return ErrorStage.ES3
+
+    if kinds & _ES2_KINDS:
+        return ErrorStage.ES2
+
+    if K.FIXED_WORD_ARGV in kinds:
+        return ErrorStage.ES2
+
+    if kinds & {K.CONCRETE_LENGTH, K.NO_SYMBOLIC_SOURCE}:
+        return ErrorStage.ES0
+
+    # Nothing symbolic ever surfaced and nothing was diagnosed: the tool
+    # simply never saw the trigger as an input — a declaration gap.
+    return ErrorStage.ES0

@@ -1,0 +1,113 @@
+"""Evaluation harness: runs tools over the bomb dataset (Section V).
+
+``run_table2`` produces the full 22-bomb x 4-tool outcome matrix and
+compares each cell against the paper's reported label; ``run_cell``
+evaluates a single (bomb, tool) pair.  Results carry both the observed
+outcome and the agreement with the paper, so EXPERIMENTS.md and the
+benchmark suite can report paper-vs-measured per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS, all_bombs, get_bomb
+from ..bombs.suite import Bomb
+from ..errors import ErrorStage
+from ..tools.api import ToolReport, get_tool
+from .classify import classify
+
+
+@dataclass
+class CellResult:
+    """One (bomb, tool) cell of Table II."""
+
+    bomb_id: str
+    tool: str
+    outcome: ErrorStage
+    expected: str | None
+    report: ToolReport
+
+    @property
+    def label(self) -> str:
+        return str(self.outcome)
+
+    @property
+    def matches_paper(self) -> bool | None:
+        if self.expected is None:
+            return None
+        return self.label == self.expected
+
+
+@dataclass
+class Table2Result:
+    """The full evaluation matrix."""
+
+    cells: dict[tuple[str, str], CellResult] = field(default_factory=dict)
+
+    def add(self, cell: CellResult) -> None:
+        self.cells[(cell.bomb_id, cell.tool)] = cell
+
+    def row(self, bomb_id: str) -> dict[str, CellResult]:
+        return {t: c for (b, t), c in self.cells.items() if b == bomb_id}
+
+    def solved_counts(self) -> dict[str, int]:
+        counts = {tool: 0 for tool in TOOL_COLUMNS}
+        for (bomb, tool), cell in self.cells.items():
+            if cell.outcome is ErrorStage.OK:
+                counts[tool] = counts.get(tool, 0) + 1
+        return counts
+
+    def solved_by_angr_family(self) -> int:
+        """The paper's headline: bombs solved by Angr in either mode."""
+        solved = set()
+        for (bomb, tool), cell in self.cells.items():
+            if tool in ("angrx", "angrx_nolib") and cell.outcome is ErrorStage.OK:
+                solved.add(bomb)
+        return len(solved)
+
+    def agreement(self) -> tuple[int, int]:
+        """(matching cells, total cells with a paper label)."""
+        labelled = [c for c in self.cells.values() if c.expected is not None]
+        return sum(1 for c in labelled if c.matches_paper), len(labelled)
+
+
+def run_cell(bomb: Bomb, tool_name: str) -> CellResult:
+    """Evaluate one (bomb, tool) pair."""
+    tool = get_tool(tool_name)
+    report = tool.analyze_bomb(bomb)
+    return CellResult(
+        bomb_id=bomb.bomb_id,
+        tool=tool_name,
+        outcome=classify(report),
+        expected=bomb.expected.get(tool_name),
+        report=report,
+    )
+
+
+def run_table2(
+    bomb_ids: tuple[str, ...] = TABLE2_BOMB_IDS,
+    tools: tuple[str, ...] = TOOL_COLUMNS,
+    verbose: bool = False,
+) -> Table2Result:
+    """Run the full (or a sliced) Table II evaluation."""
+    result = Table2Result()
+    for bomb_id in bomb_ids:
+        bomb = get_bomb(bomb_id)
+        for tool_name in tools:
+            cell = run_cell(bomb, tool_name)
+            result.add(cell)
+            if verbose:
+                mark = {True: "=", False: "!", None: " "}[cell.matches_paper]
+                print(
+                    f"{bomb_id:20s} {tool_name:12s} {cell.label:4s} "
+                    f"(paper {cell.expected or '-':4s}) {mark} "
+                    f"{cell.report.elapsed:6.1f}s"
+                )
+    return result
+
+
+def run_negative_bomb(tools: tuple[str, ...] = TOOL_COLUMNS) -> dict[str, ToolReport]:
+    """Section V.C's negative bomb: who reports the impossible as reachable?"""
+    bomb = get_bomb("neg_square")
+    return {name: get_tool(name).analyze_bomb(bomb) for name in tools}

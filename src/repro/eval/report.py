@@ -1,0 +1,103 @@
+"""Markdown report generation for evaluation runs.
+
+``render_markdown_report`` turns a :class:`~repro.eval.harness.Table2Result`
+(plus optional Figure-3 / dataset / negative-bomb results) into a
+self-contained markdown document — the shape EXPERIMENTS.md follows —
+so a full re-run can regenerate the paper-vs-measured record in one
+call:
+
+    from repro.eval import run_table2
+    from repro.eval.report import render_markdown_report
+    print(render_markdown_report(run_table2()))
+"""
+
+from __future__ import annotations
+
+from ..bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS, get_bomb
+from ..errors import ErrorStage
+from .figures import DatasetStats, Figure3Result
+from .harness import Table2Result
+
+
+def _cell_text(cell) -> str:
+    if cell is None:
+        return "?"
+    mark = " ✓" if cell.matches_paper else f" ✗ (paper {cell.expected})"
+    return f"{cell.label}{mark}"
+
+
+def render_markdown_report(
+    table2: Table2Result,
+    figure3: Figure3Result | None = None,
+    dataset: DatasetStats | None = None,
+    negative: dict | None = None,
+    title: str = "Evaluation report",
+) -> str:
+    """Render a markdown paper-vs-measured report."""
+    lines: list[str] = [f"# {title}", ""]
+
+    lines.append("## Table II")
+    lines.append("")
+    header = "| Sample case | " + " | ".join(TOOL_COLUMNS) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(TOOL_COLUMNS) + 1))
+    for bomb_id in TABLE2_BOMB_IDS:
+        bomb = get_bomb(bomb_id)
+        row = table2.row(bomb_id)
+        cells = " | ".join(_cell_text(row.get(t)) for t in TOOL_COLUMNS)
+        lines.append(f"| {bomb.case} | {cells} |")
+    lines.append("")
+
+    counts = table2.solved_counts()
+    match, total = table2.agreement()
+    lines.append(
+        "Solved: "
+        + ", ".join(f"{t}={counts.get(t, 0)}" for t in TOOL_COLUMNS)
+        + f"; Angr family {table2.solved_by_angr_family()} "
+        "(paper: BAP 2, Triton 1, Angr family 4)."
+    )
+    lines.append(f"Cell agreement with the paper: **{match}/{total}**.")
+    lines.append("")
+
+    # Per-stage distribution — a compact health check of the matrix.
+    distribution: dict[str, int] = {}
+    for cell in table2.cells.values():
+        distribution[cell.label] = distribution.get(cell.label, 0) + 1
+    lines.append("Outcome distribution: "
+                 + ", ".join(f"{k}×{v}" for k, v in sorted(distribution.items())))
+    lines.append("")
+
+    if figure3 is not None:
+        lines.append("## Figure 3")
+        lines.append("")
+        lines.append("```")
+        lines.append(figure3.render())
+        lines.append("```")
+        lines.append("")
+
+    if dataset is not None:
+        lines.append("## Dataset (§V.A)")
+        lines.append("")
+        lines.append(dataset.render())
+        lines.append("")
+
+    if negative is not None:
+        lines.append("## Negative bomb (§V.C)")
+        lines.append("")
+        for tool, report in negative.items():
+            verdict = ("FALSE POSITIVE" if report.false_positive
+                       else "claimed" if report.goal_claimed else "not claimed")
+            lines.append(f"* `{tool}`: {verdict}")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def unsolved_cases(table2: Table2Result) -> list[str]:
+    """Bombs no tool solved — the paper's 'non-trivial challenge' core."""
+    out = []
+    for bomb_id in TABLE2_BOMB_IDS:
+        row = table2.row(bomb_id)
+        if row and all(c.outcome is not ErrorStage.OK for c in row.values()):
+            out.append(bomb_id)
+    return out

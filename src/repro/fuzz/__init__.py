@@ -1,0 +1,5 @@
+"""Random-testing baseline."""
+
+from .random_fuzzer import FuzzResult, random_fuzz
+
+__all__ = ["FuzzResult", "random_fuzz"]

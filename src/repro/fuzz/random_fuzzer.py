@@ -1,0 +1,78 @@
+"""Random-testing baseline (the paper's Section I comparison point).
+
+Concolic execution is motivated as outperforming random testing on
+small programs; this module provides the counterpart: a deterministic
+random fuzzer that throws argv strings at a binary and reports whether
+(and after how many executions) the bomb fires.  The benchmark suite
+runs it over the dataset with a budget comparable to the concolic
+tools' round budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binfmt import Image
+from ..vm import Environment, Machine
+
+_PRINTABLE = bytes(range(0x20, 0x7F))
+_DIGITS = b"0123456789"
+
+
+class _XorShift:
+    def __init__(self, seed: int):
+        self.state = (seed or 1) & ((1 << 64) - 1)
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x << 13) & ((1 << 64) - 1)
+        x ^= x >> 7
+        x ^= (x << 17) & ((1 << 64) - 1)
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & ((1 << 64) - 1)
+
+    def choice(self, pool: bytes) -> int:
+        return pool[self.next() % len(pool)]
+
+    def below(self, n: int) -> int:
+        return self.next() % n
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    triggered: bool
+    executions: int
+    trigger_input: list[bytes] | None = None
+
+
+def random_fuzz(
+    image: Image,
+    budget: int = 200,
+    env: Environment | None = None,
+    argv0: bytes = b"prog",
+    seed: int = 0xF00D,
+    max_len: int = 10,
+    digit_bias: float = 0.5,
+    max_steps: int = 300_000,
+) -> FuzzResult:
+    """Fuzz *image* with random argv[1] strings.
+
+    *digit_bias* is the probability of drawing a numeric string (most
+    bombs parse their input with atoi, and a fuzzer author would know
+    that much).  Deterministic for a given *seed*.
+    """
+    rng = _XorShift(seed)
+    for execution in range(1, budget + 1):
+        length = 1 + rng.below(max_len)
+        numeric = (rng.next() % 1000) < digit_bias * 1000
+        pool = _DIGITS if numeric else _PRINTABLE
+        arg = bytes(rng.choice(pool) for _ in range(length))
+        if numeric and rng.below(8) == 0:
+            arg = b"-" + arg
+        run_env = env.clone() if env else None
+        result = Machine(image, [argv0, arg], run_env).run(max_steps)
+        if result.bomb_triggered:
+            return FuzzResult(True, execution, [arg])
+    return FuzzResult(False, budget)

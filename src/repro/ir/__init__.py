@@ -1,0 +1,6 @@
+"""REX IL and the RX64 lifter."""
+
+from . import il
+from .lifter import apply_binop, apply_fp_op, flag_condition, lift
+
+__all__ = ["apply_binop", "apply_fp_op", "flag_condition", "il", "lift"]

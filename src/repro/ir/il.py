@@ -1,0 +1,243 @@
+"""REX IL — the intermediate language all engines lift RX64 into.
+
+Plays the role BAP IL / Triton SSA / VEX play in the paper's tool
+stacks: each machine instruction expands to a short list of explicit
+micro-operations over temporaries, registers and memory, so symbolic
+engines interpret IL rather than raw opcodes.
+
+Sources/destinations are small reference objects (``RegRef``,
+``FRegRef``, ``TmpRef``, ``ConstRef``); statements are dataclasses.
+Floating-point work is isolated in :class:`FpOp` nodes so a lifter
+profile can exclude exactly FP coverage — mirroring Triton's missing
+``cvtsi2sd``/``ucomisd`` support that the paper blames for its Es1
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- value references ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegRef:
+    index: int
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class FRegRef:
+    index: int
+
+    def __str__(self) -> str:
+        return f"f{self.index}"
+
+
+@dataclass(frozen=True)
+class TmpRef:
+    index: int
+
+    def __str__(self) -> str:
+        return f"t{self.index}"
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    value: int
+    width: int = 64
+
+    def __str__(self) -> str:
+        return f"0x{self.value:x}"
+
+
+Src = RegRef | FRegRef | TmpRef | ConstRef
+Dst = RegRef | FRegRef | TmpRef
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Move(Stmt):
+    dst: Dst
+    src: Src
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(frozen=True)
+class BinOp(Stmt):
+    """dst = op(a, b); op is an smt binop name or 'sdiv'/'srem'."""
+
+    op: str
+    dst: Dst
+    a: Src
+    b: Src
+    set_flags: bool = False
+
+    def __str__(self) -> str:
+        flags = " [flags]" if self.set_flags else ""
+        return f"{self.dst} = {self.op}({self.a}, {self.b}){flags}"
+
+
+@dataclass(frozen=True)
+class UnOp(Stmt):
+    op: str  # "bvnot" | "neg"
+    dst: Dst
+    a: Src
+    set_flags: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op}({self.a})"
+
+
+@dataclass(frozen=True)
+class Load(Stmt):
+    dst: Dst
+    addr: Src
+    width: int  # bytes
+    signed: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.dst} = load{self.width * 8}[{self.addr}]"
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    addr: Src
+    value: Src
+    width: int  # bytes
+
+    def __str__(self) -> str:
+        return f"store{self.width * 8}[{self.addr}] = {self.value}"
+
+
+@dataclass(frozen=True)
+class Lea(Stmt):
+    dst: Dst
+    base: Src
+    disp: int
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.base} + {self.disp}"
+
+
+@dataclass(frozen=True)
+class SetFlags(Stmt):
+    """Record flag-producing comparison: kind in sub/logic/fcmp32/fcmp64."""
+
+    kind: str
+    a: Src
+    b: Src
+
+    def __str__(self) -> str:
+        return f"flags = {self.kind}({self.a}, {self.b})"
+
+
+@dataclass(frozen=True)
+class CondBranch(Stmt):
+    cc: str      # jz/jnz/jl/jle/jg/jge/jb/jbe/ja/jae
+    target: int  # absolute address
+
+    def __str__(self) -> str:
+        return f"if {self.cc}(flags) goto 0x{self.target:x}"
+
+
+@dataclass(frozen=True)
+class Jump(Stmt):
+    target: Src  # ConstRef for direct, RegRef/TmpRef for indirect
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True)
+class Call(Stmt):
+    target: Src
+    return_addr: int
+
+    def __str__(self) -> str:
+        return f"call {self.target} (ret 0x{self.return_addr:x})"
+
+
+@dataclass(frozen=True)
+class Ret(Stmt):
+    def __str__(self) -> str:
+        return "ret"
+
+
+@dataclass(frozen=True)
+class Push(Stmt):
+    src: Src
+
+    def __str__(self) -> str:
+        return f"push {self.src}"
+
+
+@dataclass(frozen=True)
+class Pop(Stmt):
+    dst: Dst
+
+    def __str__(self) -> str:
+        return f"pop {self.dst}"
+
+
+@dataclass(frozen=True)
+class Syscall(Stmt):
+    def __str__(self) -> str:
+        return "syscall"
+
+
+@dataclass(frozen=True)
+class Halt(Stmt):
+    def __str__(self) -> str:
+        return "halt"
+
+
+@dataclass(frozen=True)
+class FpOp(Stmt):
+    """Floating-point micro-op; op is an smt fp op name, or 'fmovbits'."""
+
+    op: str
+    dst: Dst
+    srcs: tuple[Src, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(s) for s in self.srcs)
+        return f"{self.dst} = {self.op}({args})"
+
+
+@dataclass(frozen=True)
+class FpFlags(Stmt):
+    """ucomis-style flag set from an FP compare."""
+
+    kind: str  # fcmp32 | fcmp64
+    a: Src
+    b: Src
+
+    def __str__(self) -> str:
+        return f"flags = {self.kind}({self.a}, {self.b})"
+
+
+@dataclass(frozen=True)
+class DivGuard(Stmt):
+    """Implicit division-by-zero guard.
+
+    Lifters that model exception semantics (BAP-style) emit this before
+    a division; engines treat it as a conditional branch to the fault
+    handler whose negation (``divisor == 0``) is a schedulable test
+    case.  Lifters without it simply never generate the fault path.
+    """
+
+    divisor: Src
+
+    def __str__(self) -> str:
+        return f"guard {self.divisor} != 0"

@@ -1,0 +1,89 @@
+"""Binary encoding and decoding of RX64 instructions.
+
+The encoding is byte-oriented: one opcode byte followed by the operands
+in signature order.  Branch targets are encoded as a signed 32-bit
+offset relative to the *end* of the instruction (like x86 rel32), so
+code is position-dependent only through absolute ``MOVI`` relocations.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import VMError
+from .instruction import FReg, Imm, Instruction, Mem, Reg, Target
+from .opcodes import OPSPEC, Op, instruction_size
+from .registers import NUM_FPRS, NUM_GPRS
+
+MASK64 = (1 << 64) - 1
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode *instr* (whose ``addr`` must be set for branch operands)."""
+    instr.validate()
+    out = bytearray([int(instr.op)])
+    end = instr.addr + instruction_size(instr.op)
+    for kind, operand in zip(OPSPEC[instr.op], instr.operands):
+        if kind == "R":
+            out.append(operand.index)
+        elif kind == "F":
+            out.append(operand.index)
+        elif kind == "I":
+            out += struct.pack("<Q", operand.value & MASK64)
+        elif kind == "M":
+            out.append(operand.base)
+            out += struct.pack("<i", operand.disp)
+        elif kind == "J":
+            rel = operand.addr - end
+            out += struct.pack("<i", rel)
+    return bytes(out)
+
+
+def decode(data: bytes | memoryview, addr: int) -> Instruction:
+    """Decode one instruction from *data* (a buffer starting at *addr*).
+
+    Raises :class:`VMError` on an invalid opcode or truncated buffer —
+    the concrete VM surfaces this as an illegal-instruction fault.
+    """
+    if len(data) < 1:
+        raise VMError(f"decode: empty buffer at 0x{addr:x}")
+    code = data[0]
+    try:
+        op = Op(code)
+    except ValueError:
+        raise VMError(f"decode: invalid opcode 0x{code:02x} at 0x{addr:x}") from None
+    size = instruction_size(op)
+    if len(data) < size:
+        raise VMError(f"decode: truncated instruction at 0x{addr:x}")
+    pos = 1
+    operands: list = []
+    end = addr + size
+    for kind in OPSPEC[op]:
+        if kind == "R":
+            idx = data[pos]
+            pos += 1
+            if idx >= NUM_GPRS:
+                raise VMError(f"decode: bad gpr {idx} at 0x{addr:x}")
+            operands.append(Reg(idx))
+        elif kind == "F":
+            idx = data[pos]
+            pos += 1
+            if idx >= NUM_FPRS:
+                raise VMError(f"decode: bad fpr {idx} at 0x{addr:x}")
+            operands.append(FReg(idx))
+        elif kind == "I":
+            (value,) = struct.unpack_from("<Q", data, pos)
+            pos += 8
+            operands.append(Imm(value))
+        elif kind == "M":
+            base = data[pos]
+            if base >= NUM_GPRS:
+                raise VMError(f"decode: bad base reg {base} at 0x{addr:x}")
+            (disp,) = struct.unpack_from("<i", data, pos + 1)
+            pos += 5
+            operands.append(Mem(base, disp))
+        elif kind == "J":
+            (rel,) = struct.unpack_from("<i", data, pos)
+            pos += 4
+            operands.append(Target((end + rel) & MASK64))
+    return Instruction(op, tuple(operands), addr)

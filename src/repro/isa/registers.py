@@ -1,0 +1,86 @@
+"""Register file definition for the RX64 architecture.
+
+RX64 is the 64-bit register machine all logic bombs in this repository
+are compiled to.  It plays the role x86-64 plays in the paper: it has
+enough surface (stack traffic, indirect jumps, a flags register,
+floating-point conversion/compare instructions, syscalls) for every
+challenge in the paper's Table I to arise naturally in compiled code.
+
+General-purpose registers ``r0``..``r15`` are 64-bit.  By convention:
+
+===========  =====================================================
+``r0``       syscall number / syscall+function return value
+``r1..r6``   function / syscall arguments
+``r7..r12``  caller-saved temporaries
+``r13``      callee-saved scratch
+``r14``      frame pointer (alias ``fp``)
+``r15``      stack pointer (alias ``sp``)
+===========  =====================================================
+
+Floating-point registers ``f0``..``f7`` hold raw 64-bit patterns; the
+``*S`` instructions interpret the low 32 bits as IEEE-754 single
+precision and the ``*D`` instructions interpret all 64 bits as double
+precision.
+"""
+
+from __future__ import annotations
+
+NUM_GPRS = 16
+NUM_FPRS = 8
+
+#: Architectural aliases accepted by the assembler and printed by the
+#: disassembler.
+GPR_ALIASES = {"fp": 14, "sp": 15, "rv": 0}
+
+GPR_NAMES = [f"r{i}" for i in range(NUM_GPRS)]
+FPR_NAMES = [f"f{i}" for i in range(NUM_FPRS)]
+
+#: Registers a called function must preserve.
+CALLEE_SAVED = (13, 14, 15)
+
+#: Registers used to pass the first six integer/pointer arguments.
+ARG_REGS = (1, 2, 3, 4, 5, 6)
+
+#: Register holding an integer return value.
+RET_REG = 0
+
+#: Floating-point argument / return registers.
+FARG_REGS = (0, 1, 2, 3)
+FRET_REG = 0
+
+SP = 15
+FP = 14
+
+
+def gpr_name(index: int) -> str:
+    """Canonical printed name for general-purpose register *index*."""
+    if index == SP:
+        return "sp"
+    if index == FP:
+        return "fp"
+    return f"r{index}"
+
+
+def parse_gpr(name: str) -> int:
+    """Parse a general-purpose register name (``r3``, ``sp``, ``fp``).
+
+    Returns the register index, or raises ``ValueError``.
+    """
+    name = name.lower()
+    if name in GPR_ALIASES:
+        return GPR_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_GPRS:
+            return idx
+    raise ValueError(f"unknown register {name!r}")
+
+
+def parse_fpr(name: str) -> int:
+    """Parse a floating-point register name (``f0``..``f7``)."""
+    name = name.lower()
+    if name.startswith("f") and name[1:].isdigit():
+        idx = int(name[1:])
+        if 0 <= idx < NUM_FPRS:
+            return idx
+    raise ValueError(f"unknown float register {name!r}")

@@ -1,0 +1,8 @@
+"""BombC — the C-like language the logic-bomb dataset is written in."""
+
+from .cast import CType, Unit
+from .compiler import CRT_ASM, compile_single, compile_sources
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = ["CRT_ASM", "CType", "Unit", "compile_single", "compile_sources", "parse", "tokenize"]

@@ -1,0 +1,219 @@
+"""Abstract syntax tree and type model for BombC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CType:
+    """A BombC type: a base kind plus pointer depth.
+
+    ``array`` is the element count when the declarator was an array
+    (arrays decay to pointers in expressions).
+    """
+
+    kind: str          # "int" | "char" | "float" | "double" | "void"
+    ptr: int = 0
+    array: int | None = None
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0 or self.array is not None
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind in ("float", "double") and not self.is_pointer
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of one value of this type."""
+        if self.array is not None:
+            return self.elem().size * self.array
+        if self.ptr > 0:
+            return 8
+        return {"int": 8, "char": 1, "float": 4, "double": 8, "void": 0}[self.kind]
+
+    def elem(self) -> "CType":
+        """Type of the pointee / array element."""
+        if self.array is not None:
+            return CType(self.kind, self.ptr)
+        if self.ptr > 0:
+            return CType(self.kind, self.ptr - 1)
+        raise ValueError(f"{self} is not a pointer")
+
+    def pointer_to(self) -> "CType":
+        return CType(self.kind, self.ptr + 1)
+
+    def decayed(self) -> "CType":
+        """Array-to-pointer decay."""
+        if self.array is not None:
+            return CType(self.kind, self.ptr + 1)
+        return self
+
+    def __str__(self) -> str:
+        text = self.kind + "*" * self.ptr
+        if self.array is not None:
+            text += f"[{self.array}]"
+        return text
+
+
+INT = CType("int")
+CHAR = CType("char")
+FLOAT = CType("float")
+DOUBLE = CType("double")
+VOID = CType("void")
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    value: bytes = b""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # - ! ~ * &
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    type: CType = INT
+    operand: Expr | None = None
+
+
+# -- statements ------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Decl(Stmt):
+    name: str = ""
+    type: CType = INT
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr | None = None  # Ident | Index | Unary('*')
+    op: str = "="               # "=", "+=", "-=", ...
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: list[Stmt] = field(default_factory=list)
+    orelse: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top level ---------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: CType
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: list[Param]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: CType
+    init: object = None  # int | float | bytes | list[int] | None
+    line: int = 0
+
+
+@dataclass
+class Unit:
+    """One parsed translation unit."""
+
+    name: str
+    functions: list[FuncDef] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)

@@ -1,0 +1,86 @@
+"""BombC compiler driver: sources -> REXF image.
+
+Program code goes to ``.text``; the runtime library (libc subset, math,
+rand, SHA1, AES, pthread) is compiled into the ``.lib`` section so its
+functions carry symbol kind ``lib`` — the surface analysis tools can
+either analyze ("with libraries") or hook ("no-lib"), matching the two
+Angr configurations in the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from ..asm import assemble
+from ..binfmt import Image, link
+from . import cast as A
+from .codegen import ProgramInfo, generate_unit
+from .parser import parse
+
+#: C runtime startup: calls main(argc, argv) then exits with its result.
+CRT_ASM = """
+.text
+.global _start
+_start:
+    call main
+    mov r1, r0
+    movi r0, 0      ; SYS_EXIT
+    syscall
+    hlt
+"""
+
+
+def compile_sources(
+    sources: list[tuple[str, str]],
+    include_runtime: bool = True,
+    asm_modules: list[tuple[str, str]] | None = None,
+    entry: str = "_start",
+) -> Image:
+    """Compile BombC *sources* (name, text) plus optional raw *asm_modules*.
+
+    Raw assembly modules let individual bombs hand-author code shapes a
+    compiler would not emit deterministically (fixed-stride jump-table
+    blocks for the symbolic-jump challenge).
+    """
+    units: list[tuple[A.Unit, str]] = []
+    for name, text in sources:
+        units.append((parse(text, name), ".text"))
+    if include_runtime:
+        from ..runtime import runtime_sources
+
+        for name, text in runtime_sources():
+            units.append((parse(text, name), ".lib"))
+
+    info = ProgramInfo.collect([u for u, _ in units])
+    _declare_asm_symbols(info, asm_modules or [])
+
+    modules = [assemble(CRT_ASM, "crt0.s")]
+    for unit, section in units:
+        asm_text = generate_unit(unit, info, section)
+        modules.append(assemble(asm_text, unit.name + ".s"))
+    for name, text in asm_modules or []:
+        modules.append(assemble(text, name))
+    return link(modules, entry=entry)
+
+
+def _declare_asm_symbols(info: ProgramInfo, asm_modules: list[tuple[str, str]]) -> None:
+    """Make functions defined in raw asm callable from BombC.
+
+    Any ``.global name`` in an asm module is registered as
+    ``int name(int, ..., int)`` with up to 6 int parameters; BombC call
+    sites type-check against argument count at the call site only, so we
+    register a permissive variadic-style signature per arity by scanning
+    for ``name(`` is not possible — instead asm functions are declared
+    with a special marker signature accepting any arity.
+    """
+    import re
+
+    for _name, text in asm_modules:
+        for match in re.finditer(r"^\s*\.global\s+([\w.$]+)", text, re.MULTILINE):
+            sym = match.group(1)
+            if sym not in info.functions:
+                info.functions[sym] = (A.INT, [])
+                info.asm_functions.add(sym)
+
+
+def compile_single(source: str, name: str = "prog.bc", **kwargs) -> Image:
+    """Compile one BombC source string into an image."""
+    return compile_sources([(name, source)], **kwargs)

@@ -1,0 +1,152 @@
+"""Lexer for BombC, the small C-like language the logic bombs are written in.
+
+BombC exists so the dataset programs can be written at source level
+exactly like the paper's Figure 2 snippets and *compiled* to RX64 — the
+instruction patterns the challenges rely on (stack traffic, indirect
+jumps, float conversions, library calls) then arise from compilation,
+not hand-staging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+
+KEYWORDS = {
+    "int", "char", "float", "double", "void",
+    "if", "else", "while", "for", "return", "break", "continue",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    ">>>=", "<<=", ">>=", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "int", "float", "str", "char", "ident", "kw", "op", "eof"
+    text: str
+    value: object = None
+    line: int = 0
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+def tokenize(source: str, unit: str = "<bc>") -> list[Token]:
+    """Tokenize BombC *source*; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+
+    def err(msg: str) -> CompileError:
+        return CompileError(f"{unit}:{line}: {msg}")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise err("unterminated comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("int", source[i:j], int(source[i:j], 16), line))
+                i = j
+                continue
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, float(text), line))
+            else:
+                tokens.append(Token("int", text, int(text), line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, line))
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            out = bytearray()
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    nxt = source[j + 1]
+                    if nxt == "x":
+                        out.append(int(source[j + 2 : j + 4], 16))
+                        j += 4
+                        continue
+                    out.append(ord(_ESCAPES.get(nxt, nxt)))
+                    j += 2
+                else:
+                    out.append(ord(source[j]))
+                    j += 1
+            if j >= n:
+                raise err("unterminated string")
+            tokens.append(Token("str", source[i : j + 1], bytes(out), line))
+            i = j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                value = ord(_ESCAPES.get(source[j + 1], source[j + 1]))
+                j += 2
+            elif j < n:
+                value = ord(source[j])
+                j += 1
+            else:
+                raise err("unterminated char literal")
+            if j >= n or source[j] != "'":
+                raise err("unterminated char literal")
+            tokens.append(Token("char", source[i : j + 1], value, line))
+            i = j + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, op, line))
+                i += len(op)
+                break
+        else:
+            raise err(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", None, line))
+    return tokens

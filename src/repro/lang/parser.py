@@ -1,0 +1,329 @@
+"""Recursive-descent parser for BombC."""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from . import cast as A
+from .lexer import Token, tokenize
+
+_TYPE_KWS = ("int", "char", "float", "double", "void")
+
+_BIN_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>", ">>>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>=")
+
+
+class Parser:
+    """Parses one BombC translation unit into an AST :class:`~repro.lang.cast.Unit`."""
+
+    def __init__(self, source: str, unit_name: str = "<bc>"):
+        self.tokens = tokenize(source, unit_name)
+        self.pos = 0
+        self.unit_name = unit_name
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.at(kind, text):
+            tok = self.peek()
+            want = text or kind
+            raise self.err(f"expected {want!r}, got {tok.text!r}")
+        return self.next()
+
+    def err(self, msg: str) -> CompileError:
+        return CompileError(f"{self.unit_name}:{self.peek().line}: {msg}")
+
+    # -- top level ------------------------------------------------------------
+
+    def parse(self) -> A.Unit:
+        unit = A.Unit(self.unit_name)
+        while not self.at("eof"):
+            ctype = self.parse_type()
+            name = self.expect("ident").text
+            if self.at("op", "("):
+                unit.functions.append(self.parse_func(ctype, name))
+            else:
+                unit.globals.append(self.parse_global(ctype, name))
+        return unit
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "kw" and self.peek().text in _TYPE_KWS
+
+    def parse_type(self) -> A.CType:
+        tok = self.expect("kw")
+        if tok.text not in _TYPE_KWS:
+            raise self.err(f"expected type, got {tok.text!r}")
+        ptr = 0
+        while self.accept("op", "*"):
+            ptr += 1
+        return A.CType(tok.text, ptr)
+
+    def parse_global(self, ctype: A.CType, name: str) -> A.GlobalVar:
+        line = self.peek().line
+        if self.accept("op", "["):
+            count = self.expect("int").value
+            self.expect("op", "]")
+            ctype = A.CType(ctype.kind, ctype.ptr, count)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_global_init()
+        self.expect("op", ";")
+        return A.GlobalVar(name, ctype, init, line)
+
+    def parse_global_init(self):
+        if self.accept("op", "{"):
+            items = []
+            while not self.at("op", "}"):
+                sign = -1 if self.accept("op", "-") else 1
+                tok = self.next()
+                if tok.kind not in ("int", "char", "float"):
+                    raise self.err("global initializer lists take literals only")
+                items.append(sign * tok.value)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "}")
+            return items
+        sign = -1 if self.accept("op", "-") else 1
+        tok = self.next()
+        if tok.kind in ("int", "char"):
+            return sign * tok.value
+        if tok.kind == "float":
+            return sign * tok.value
+        if tok.kind == "str":
+            return tok.value
+        raise self.err(f"bad global initializer {tok.text!r}")
+
+    def parse_func(self, ret: A.CType, name: str) -> A.FuncDef:
+        line = self.peek().line
+        self.expect("op", "(")
+        params: list[A.Param] = []
+        if self.at("kw", "void") and self.peek(1).text == ")":
+            self.next()
+        elif not self.at("op", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                if self.accept("op", "["):
+                    self.expect("op", "]")
+                    ptype = A.CType(ptype.kind, ptype.ptr + 1)
+                params.append(A.Param(pname, ptype))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return A.FuncDef(name, ret, params, body, line)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self) -> list[A.Stmt]:
+        self.expect("op", "{")
+        stmts = []
+        while not self.at("op", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return stmts
+
+    def parse_stmt(self) -> A.Stmt:
+        line = self.peek().line
+        if self.at_type():
+            return self.parse_decl()
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "while"):
+            self.next()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return A.While(line, cond, self.parse_body())
+        if self.at("kw", "for"):
+            return self.parse_for()
+        if self.at("kw", "return"):
+            self.next()
+            value = None if self.at("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return A.Return(line, value)
+        if self.at("kw", "break"):
+            self.next()
+            self.expect("op", ";")
+            return A.Break(line)
+        if self.at("kw", "continue"):
+            self.next()
+            self.expect("op", ";")
+            return A.Continue(line)
+        if self.at("op", ";"):
+            self.next()
+            return A.ExprStmt(line, None)
+        stmt = self.parse_simple()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_body(self) -> list[A.Stmt]:
+        """A statement body: either a block or a single statement."""
+        if self.at("op", "{"):
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    def parse_decl(self) -> A.Stmt:
+        line = self.peek().line
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        if self.accept("op", "["):
+            count = self.expect("int").value
+            self.expect("op", "]")
+            ctype = A.CType(ctype.kind, ctype.ptr, count)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return A.Decl(line, name, ctype, init)
+
+    def parse_if(self) -> A.Stmt:
+        line = self.peek().line
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_body()
+        orelse: list[A.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.at("kw", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_body()
+        return A.If(line, cond, then, orelse)
+
+    def parse_for(self) -> A.Stmt:
+        line = self.peek().line
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.at("op", ";"):
+            init = self.parse_decl() if self.at_type() else self._simple_then(";")
+            if isinstance(init, A.Decl):
+                pass  # parse_decl consumed the ';'
+            else:
+                self.expect("op", ";")
+        else:
+            self.next()
+        cond = None if self.at("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.at("op", ")") else self.parse_simple()
+        self.expect("op", ")")
+        return A.For(line, init, cond, step, self.parse_body())
+
+    def _simple_then(self, _end: str) -> A.Stmt:
+        return self.parse_simple()
+
+    def parse_simple(self) -> A.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        line = self.peek().line
+        expr = self.parse_expr()
+        for op in _ASSIGN_OPS:
+            if self.at("op", op):
+                self.next()
+                value = self.parse_expr()
+                if not isinstance(expr, (A.Ident, A.Index)) and not (
+                    isinstance(expr, A.Unary) and expr.op == "*"
+                ):
+                    raise self.err("assignment target is not an lvalue")
+                return A.Assign(line, expr, op, value)
+        return A.ExprStmt(line, expr)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> A.Expr:
+        if level >= len(_BIN_LEVELS):
+            return self.parse_unary()
+        lhs = self._parse_binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in _BIN_LEVELS[level]:
+            op = self.next().text
+            rhs = self._parse_binary(level + 1)
+            lhs = A.Binary(lhs.line, op, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> A.Expr:
+        line = self.peek().line
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            return A.Unary(line, tok.text, self.parse_unary())
+        if tok.kind == "op" and tok.text == "(" and self.peek(1).kind == "kw" \
+                and self.peek(1).text in _TYPE_KWS:
+            self.next()
+            ctype = self.parse_type()
+            self.expect("op", ")")
+            return A.Cast(line, ctype, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("op", "["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = A.Index(expr.line, expr, index)
+            elif self.at("op", "(") and isinstance(expr, A.Ident):
+                self.next()
+                args = []
+                while not self.at("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+                expr = A.Call(expr.line, expr.name, args)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.next()
+        if tok.kind == "int" or tok.kind == "char":
+            return A.IntLit(tok.line, tok.value)
+        if tok.kind == "float":
+            return A.FloatLit(tok.line, tok.value)
+        if tok.kind == "str":
+            return A.StrLit(tok.line, tok.value)
+        if tok.kind == "ident":
+            return A.Ident(tok.line, tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.err(f"unexpected token {tok.text!r}")
+
+
+def parse(source: str, unit_name: str = "<bc>") -> A.Unit:
+    """Parse BombC *source* into an AST unit."""
+    return Parser(source, unit_name).parse()

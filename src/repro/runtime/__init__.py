@@ -1,0 +1,54 @@
+"""The BombC runtime library.
+
+A libc subset (strings, stdio, malloc), math (`sin`, `pow`, `atof`),
+`srand`/`rand`, SHA1 and AES-128, pthread wrappers and raw syscall
+wrappers — all written in BombC itself and compiled into the ``.lib``
+section of every bomb binary.  This mirrors the role libc/libm/OpenSSL
+play for the paper's dataset: real library code the tools must either
+analyze or hook.
+
+Load order matters only for readability; all units share one program
+namespace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_BC_DIR = Path(__file__).parent / "bc"
+
+#: Canonical unit order (stable across runs for deterministic layout).
+_UNIT_ORDER = [
+    "sys.bc",
+    "string.bc",
+    "stdio.bc",
+    "alloc.bc",
+    "file.bc",
+    "math.bc",
+    "rand.bc",
+    "pthread.bc",
+    "sha1.bc",
+    "aes.bc",
+]
+
+
+def runtime_sources() -> list[tuple[str, str]]:
+    """Return (unit name, source text) for every runtime unit."""
+    sources = []
+    for name in _UNIT_ORDER:
+        path = _BC_DIR / name
+        sources.append((name, path.read_text()))
+    return sources
+
+
+def runtime_function_names() -> set[str]:
+    """Names of all functions defined by the runtime (the hookable set)."""
+    import re
+
+    names: set[str] = set()
+    pattern = re.compile(
+        r"^(?:int|char|float|double|void)\s*\**\s*(\w+)\s*\(", re.MULTILINE
+    )
+    for _name, text in runtime_sources():
+        names.update(pattern.findall(text))
+    return names

@@ -1,0 +1,139 @@
+"""Local-search solver for constraint sets containing floating-point ops.
+
+Bit-blasting IEEE semantics is out of reach for the 2017-era tool
+stacks the paper evaluates (their Table II shows E/Es3 on the FP rows).
+This module implements the pragmatic alternative the extension tool
+(REXX) uses: treat the path constraint as an executable predicate (the
+concrete evaluator understands every node, FP included) and search the
+input space for a model.
+
+The search is deterministic: a seeded xorshift generator drives
+sampling, and a fixed battery of boundary patterns (0, denormals, ULP
+neighborhoods of powers of two, small integers) is tried first —
+boundary values are where FP-only solutions live, e.g. the paper's
+``1024 + x == 1024 && x > 0``.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable
+
+from .expr import Expr, eval_expr
+
+#: Single-precision boundary bit patterns tried first.  Ordered so that
+#: *decimal-renderable* values come before denormals: a found model is
+#: often rendered back into a decimal argv string, and 1e-45 survives
+#: that round trip as 0.0.
+_F32_SPECIALS = [
+    0x3727C5AC,             # 1e-5
+    0x38D1B717,             # 1e-4
+    0x3A83126F,             # 1e-3
+    0x358637BD,             # 1e-6
+    0x33D6BF95,             # 1e-7
+    0x00000000,             # +0
+    0x3F800000,             # 1.0
+    0x44800000,             # 1024.0
+    0x7F7FFFFF,             # max finite
+    0x00000001,             # smallest denormal
+    0x80000001,             # -denormal
+    0xBF800000,             # -1.0
+]
+
+
+def _f64_from_f32(bits32: int) -> int:
+    (value,) = struct.unpack("<f", struct.pack("<I", bits32 & 0xFFFFFFFF))
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+class _XorShift:
+    """Deterministic 64-bit xorshift* generator (no global RNG use)."""
+
+    def __init__(self, seed: int):
+        self.state = (seed or 1) & ((1 << 64) - 1)
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x << 13) & ((1 << 64) - 1)
+        x ^= x >> 7
+        x ^= (x << 17) & ((1 << 64) - 1)
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & ((1 << 64) - 1)
+
+
+def _satisfied(constraints: list[Expr], model: dict[str, int]) -> int:
+    count = 0
+    for expr in constraints:
+        if eval_expr(expr, model):
+            count += 1
+    return count
+
+
+def search_fp_model(
+    constraints: list[Expr],
+    var_widths: dict[str, int],
+    candidates: Iterable[dict[str, int]] = (),
+    budget: int = 4000,
+    seed: int = 0x5EED,
+) -> dict[str, int] | None:
+    """Search for a model of *constraints* (FP nodes allowed).
+
+    *candidates* are caller-supplied starting points (e.g. models of the
+    non-FP part of the path constraint); they are evaluated first, then
+    boundary patterns, then seeded random sampling with greedy bit-flip
+    refinement.  Returns a model dict or None within *budget* evaluations.
+    """
+    if not constraints:
+        return {}
+    target = len(constraints)
+    rng = _XorShift(seed)
+    evals = 0
+
+    def good(model: dict[str, int]) -> bool:
+        nonlocal evals
+        evals += 1
+        return _satisfied(constraints, model) == target
+
+    pool: list[dict[str, int]] = [dict(c) for c in candidates]
+    pool.append({name: 0 for name in var_widths})
+    # Boundary battery: one variable at a time gets a special pattern.
+    for name, width in var_widths.items():
+        for pattern in _F32_SPECIALS:
+            value = pattern if width <= 32 else _f64_from_f32(pattern)
+            pool.append({name: value & ((1 << width) - 1)})
+
+    best: dict[str, int] | None = None
+    best_score = -1
+    for model in pool:
+        full = {n: model.get(n, 0) for n in var_widths}
+        if evals >= budget:
+            return None
+        score = _satisfied(constraints, full)
+        evals += 1
+        if score == target:
+            return full
+        if score > best_score:
+            best_score = score
+            best = full
+
+    # Random sampling + greedy single-bit refinement from the best point.
+    while evals < budget:
+        model = {
+            name: rng.next() & ((1 << width) - 1)
+            for name, width in var_widths.items()
+        }
+        if good(model):
+            return model
+        if best is not None:
+            candidate = dict(best)
+            name = sorted(var_widths)[rng.next() % max(len(var_widths), 1)]
+            bit = rng.next() % var_widths[name]
+            candidate[name] ^= 1 << bit
+            score = _satisfied(constraints, candidate)
+            evals += 1
+            if score == target:
+                return candidate
+            if score >= best_score:
+                best_score = score
+                best = candidate
+    return None

@@ -1,0 +1,278 @@
+"""Interval-analysis presolve for the solver.
+
+Before bit-blasting, the solver runs a cheap two-phase analysis:
+
+1. *Refinement*: unary constraints of the forms ``c <= zext(var)``,
+   ``zext(var) <= c``, ``var == c`` (and their negations / strict
+   variants) shrink the known range of each variable.  These are
+   exactly the digit-bound constraints input-parsing code showers onto
+   argv bytes.
+2. *Evaluation*: every constraint is evaluated over the interval
+   domain; a constraint that is *definitely false* proves the whole
+   conjunction UNSAT without touching the SAT solver.
+
+The domain tracks the **mathematical** value range ``[lo, hi]`` ⊆ ℤ of
+an expression under the invariant that its bit pattern equals the math
+value mod 2^width.  Signed comparisons are decidable when the range
+fits in the signed domain, unsigned ones when it is non-negative; any
+possible wrap widens to ⊤.  The analysis is sound for UNSAT detection
+only — it never claims satisfiability.
+"""
+
+from __future__ import annotations
+
+from .expr import Expr, to_signed
+
+_TOP = None  # alias for readability: unknown interval
+
+
+def _full(width: int) -> tuple[int, int]:
+    return (0, (1 << width) - 1)
+
+
+class IntervalAnalysis:
+    """One presolve pass over a constraint conjunction."""
+
+    def __init__(self, constraints: list[Expr]):
+        self.constraints = constraints
+        self.var_ranges: dict[str, tuple[int, int]] = {}
+        self._cache: dict[int, tuple[int, int] | None] = {}
+
+    # -- public -----------------------------------------------------------
+
+    def definitely_unsat(self) -> bool:
+        """True if some constraint is provably false over intervals."""
+        for constraint in self.constraints:
+            self._refine(constraint)
+        # A variable narrowed to an empty range is already a proof.
+        if any(lo > hi for lo, hi in self.var_ranges.values()):
+            return True
+        for constraint in self.constraints:
+            if self._truth(constraint) is False:
+                return True
+        return False
+
+    # -- refinement ----------------------------------------------------------
+
+    def _var_of(self, node: Expr) -> tuple[str, int] | None:
+        """Match ``var`` or ``zext(var)``; returns (name, var width)."""
+        if node.is_var:
+            return node.name, node.width
+        if node.op in ("zext",) and node.args[0].is_var:
+            return node.args[0].name, node.args[0].width
+        return None
+
+    def _narrow(self, name: str, width: int, lo: int, hi: int) -> None:
+        full = _full(width)
+        cur = self.var_ranges.get(name, full)
+        self.var_ranges[name] = (max(cur[0], lo, 0), min(cur[1], hi, full[1]))
+
+    def _refine(self, constraint: Expr, negated: bool = False) -> None:
+        op = constraint.op
+        if op == "bvnot" and constraint.width == 1:
+            self._refine(constraint.args[0], not negated)
+            return
+        if op == "and" and constraint.width == 1 and not negated:
+            self._refine(constraint.args[0])
+            self._refine(constraint.args[1])
+            return
+        if op not in ("sle", "slt", "ule", "ult", "eq"):
+            return
+        a, b = constraint.args
+        # Only small positive constants refine soundly (their signed and
+        # unsigned interpretations agree at every involved width).
+        # var-on-right: c OP var
+        var = self._var_of(b)
+        if var is not None and a.is_const and a.value < (1 << 31):
+            name, width = var
+            c = a.value
+            if op in ("sle", "ule"):
+                if not negated:
+                    self._narrow(name, width, c, (1 << width) - 1)
+                else:  # not (c <= v)  ->  v <= c-1
+                    self._narrow(name, width, 0, c - 1)
+            elif op in ("slt", "ult"):
+                if not negated:
+                    self._narrow(name, width, c + 1, (1 << width) - 1)
+                else:
+                    self._narrow(name, width, 0, c)
+            elif op == "eq" and not negated:
+                self._narrow(name, width, c, c)
+            return
+        var = self._var_of(a)
+        if var is not None and b.is_const and b.value < (1 << 31):
+            name, width = var
+            c = b.value
+            if op in ("sle", "ule"):
+                if not negated:
+                    self._narrow(name, width, 0, c)
+                else:  # not (v <= c) -> v >= c+1
+                    self._narrow(name, width, c + 1, (1 << width) - 1)
+            elif op in ("slt", "ult"):
+                if not negated:
+                    self._narrow(name, width, 0, c - 1)
+                else:
+                    self._narrow(name, width, c, (1 << width) - 1)
+            elif op == "eq" and not negated:
+                self._narrow(name, width, c, c)
+
+    # -- interval evaluation ------------------------------------------------------
+
+    def _range(self, node: Expr) -> tuple[int, int] | None:
+        """Iterative post-order interval evaluation (deep DAG safe)."""
+        cache = self._cache
+        if id(node) in cache:
+            return cache[id(node)]
+        stack = [node]
+        while stack:
+            cur = stack[-1]
+            if id(cur) in cache:
+                stack.pop()
+                continue
+            pending = [a for a in cur.args if id(a) not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            cache[id(cur)] = self._range_uncached(cur)
+        return cache[id(node)]
+
+    def _range_uncached(self, node: Expr) -> tuple[int, int] | None:
+        op = node.op
+        width = node.width
+        if op == "const":
+            # Use the signed view so constants like -48 stay small.
+            value = to_signed(node.value, width)
+            return (value, value)
+        if op == "var":
+            return self.var_ranges.get(node.name, _full(width))
+        if op == "zext":
+            inner = self._cache[id(node.args[0])]
+            if inner is None or inner[0] < 0:
+                return _full(node.args[0].width) if inner is None else None
+            return inner
+        args = [self._cache[id(a)] for a in node.args]
+        if op == "add":
+            if None in args:
+                return _TOP
+            (alo, ahi), (blo, bhi) = args
+            return self._fit(alo + blo, ahi + bhi, width)
+        if op == "sub":
+            if None in args:
+                return _TOP
+            (alo, ahi), (blo, bhi) = args
+            return self._fit(alo - bhi, ahi - blo, width)
+        if op == "mul":
+            if None in args:
+                return _TOP
+            (alo, ahi), (blo, bhi) = args
+            products = [alo * blo, alo * bhi, ahi * blo, ahi * bhi]
+            return self._fit(min(products), max(products), width)
+        if op == "ite":
+            then_r, else_r = self._range(node.args[1]), self._range(node.args[2])
+            if then_r is None or else_r is None:
+                return _TOP
+            return (min(then_r[0], else_r[0]), max(then_r[1], else_r[1]))
+        if op == "and" and node.args[1].is_const and width > 1:
+            inner = self._range(node.args[0])
+            mask = node.args[1].value
+            if inner is not None and inner[0] >= 0:
+                return (0, min(inner[1], mask))
+            return (0, mask)
+        if op == "lshr" and node.args[1].is_const:
+            inner = self._range(node.args[0])
+            shift = node.args[1].value & (width - 1)
+            if inner is not None and inner[0] >= 0:
+                return (inner[0] >> shift, inner[1] >> shift)
+            return _TOP
+        if op == "shl" and node.args[1].is_const:
+            inner = self._range(node.args[0])
+            if inner is None:
+                return _TOP
+            shift = node.args[1].value & (width - 1)
+            return self._fit(inner[0] << shift, inner[1] << shift, width)
+        if op in ("urem",) and node.args[1].is_const and node.args[1].value:
+            return (0, node.args[1].value - 1)
+        return _TOP
+
+    @staticmethod
+    def _fit(lo: int, hi: int, width: int) -> tuple[int, int] | None:
+        """Keep an interval only if no mod-2^width wrap can occur."""
+        bound = 1 << (width - 1)
+        if -bound <= lo and hi < (1 << width):
+            # Representable without ambiguity: the math value matches
+            # either the signed or unsigned interpretation throughout.
+            if lo >= 0 or hi < bound:
+                return (lo, hi)
+        return _TOP
+
+    # -- constraint truth ------------------------------------------------------------
+
+    def _truth(self, constraint: Expr) -> bool | None:
+        """Tri-state evaluation of a width-1 expression."""
+        op = constraint.op
+        if op == "const":
+            return bool(constraint.value)
+        if op == "bvnot":
+            inner = self._truth(constraint.args[0])
+            return None if inner is None else not inner
+        if op == "and" and constraint.width == 1:
+            a, b = (self._truth(x) for x in constraint.args)
+            if a is False or b is False:
+                return False
+            if a is True and b is True:
+                return True
+            return None
+        if op == "or" and constraint.width == 1:
+            a, b = (self._truth(x) for x in constraint.args)
+            if a is True or b is True:
+                return True
+            if a is False and b is False:
+                return False
+            return None
+        if op in ("sle", "slt", "ule", "ult", "eq"):
+            ra = self._range(constraint.args[0])
+            rb = self._range(constraint.args[1])
+            if ra is None or rb is None:
+                return None
+            width = constraint.args[0].width
+            bound = 1 << (width - 1)
+            signed_safe = ra[0] >= -bound and ra[1] < bound \
+                and rb[0] >= -bound and rb[1] < bound
+            unsigned_safe = ra[0] >= 0 and rb[0] >= 0
+            (alo, ahi), (blo, bhi) = ra, rb
+            if op in ("slt", "sle") and not signed_safe:
+                return None
+            if op in ("ult", "ule") and not unsigned_safe:
+                return None
+            if op == "eq":
+                if not (signed_safe or unsigned_safe):
+                    return None
+                if ahi < blo or bhi < alo:
+                    return False
+                if alo == ahi == blo == bhi:
+                    return True
+                return None
+            if op in ("slt", "ult"):
+                if ahi < blo:
+                    return True
+                if alo >= bhi:
+                    return False
+            else:  # sle / ule
+                if ahi <= blo:
+                    return True
+                if alo > bhi:
+                    return False
+            return None
+        return None
+
+
+def presolve_unsat(constraints: list[Expr], max_nodes: int = 150_000) -> bool:
+    """True if the conjunction is provably UNSAT by interval analysis.
+
+    Skipped for huge constraint sets — those either fold under the
+    node-budget guard or genuinely need the SAT solver.
+    """
+    if sum(c.size() for c in constraints) > max_nodes:
+        return False
+    return IntervalAnalysis(constraints).definitely_unsat()

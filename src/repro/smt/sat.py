@@ -1,0 +1,298 @@
+"""CDCL SAT solver.
+
+A from-scratch conflict-driven clause-learning solver with two-watched
+literals, VSIDS-style activities, first-UIP learning and Luby restarts.
+It is the engine under the bit-blaster and stands in for MiniSat/STP/Z3
+in the paper's tool stacks.
+
+Literal encoding: variable ``v`` (0-based) has positive literal ``2v``
+and negative literal ``2v+1``; ``lit ^ 1`` negates.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import SolverError
+
+UNASSIGNED = -1
+
+
+def _luby(x: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 0-indexed."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """One-shot CDCL solver: add clauses, then :meth:`solve`."""
+
+    def __init__(self, max_conflicts: int = 200_000, max_clauses: int = 2_000_000):
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.watches: list[list[int]] = []  # lit -> clause indices
+        self.values: list[int] = []         # var -> 0/1/UNASSIGNED
+        self.levels: list[int] = []
+        self.reasons: list[int] = []        # var -> clause idx or -1
+        self.activity: list[float] = []
+        self.trail: list[int] = []          # assigned literals in order
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.max_conflicts = max_conflicts
+        self.max_clauses = max_clauses
+        self._var_inc = 1.0
+        self._ok = True
+        #: Lazy max-heap of (-activity, var); stale entries are skipped
+        #: at pop time (standard VSIDS order-heap trick).
+        self._order: list[tuple[float, int]] = []
+
+    # -- construction -----------------------------------------------------
+
+    def new_var(self) -> int:
+        var = self.num_vars
+        self.num_vars += 1
+        self.values.append(UNASSIGNED)
+        self.levels.append(0)
+        self.reasons.append(-1)
+        self.activity.append(0.0)
+        self.watches.append([])
+        self.watches.append([])
+        heapq.heappush(self._order, (0.0, var))
+        return var
+
+    def add_clause(self, lits: list[int]) -> None:
+        """Add a clause of literals (see module docstring for encoding)."""
+        if not self._ok:
+            return
+        if len(self.clauses) >= self.max_clauses:
+            raise SolverError("clause budget exceeded")
+        # Deduplicate and detect tautologies.
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if lit in seen:
+                continue
+            if lit ^ 1 in seen:
+                return  # tautology
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return
+        if len(out) == 1:
+            if not self._enqueue(out[0], -1):
+                self._ok = False
+            return
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self.watches[out[0]].append(idx)
+        self.watches[out[1]].append(idx)
+
+    # -- assignment ---------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self.values[lit >> 1]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        var = lit >> 1
+        desired = (lit & 1) ^ 1
+        value = self.values[var]
+        if value != UNASSIGNED:
+            return value == desired
+        self.values[var] = desired
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation ----------------------------------------------------------
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns conflicting clause index or -1."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = lit ^ 1
+            watch_list = self.watches[false_lit]
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                clause = self.clauses[ci]
+                # Ensure false_lit is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    i += 1
+                    continue
+                # Find a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches[clause[1]].append(ci)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._lit_value(first) == 0:
+                    self.qhead = len(self.trail)
+                    return ci
+                self._enqueue(first, ci)
+                i += 1
+        return -1
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self._var_inc
+        if self.activity[var] > 1e100:
+            for v in range(self.num_vars):
+                self.activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order, (-self.activity[var], var))
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learnt clause, backtrack level)."""
+        learnt = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        lit = -1
+        index = len(self.trail) - 1
+        clause_idx = conflict
+        while True:
+            clause = self.clauses[clause_idx]
+            start = 1 if lit != -1 else 0
+            for q in clause[start:]:
+                var = q >> 1
+                if not seen[var] and self.levels[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.levels[var] == self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Find the next literal to resolve on.
+            while True:
+                lit = self.trail[index]
+                index -= 1
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            seen[lit >> 1] = False
+            if counter == 0:
+                break
+            clause_idx = self.reasons[lit >> 1]
+        learnt[0] = lit ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack to the second-highest level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self.levels[learnt[i] >> 1] > self.levels[learnt[max_i] >> 1]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self.levels[learnt[1] >> 1]
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self.trail_lim[level]
+        for lit in reversed(self.trail[limit:]):
+            var = lit >> 1
+            self.values[var] = UNASSIGNED
+            self.reasons[var] = -1
+            heapq.heappush(self._order, (-self.activity[var], var))
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.qhead = len(self.trail)
+
+    # -- decisions --------------------------------------------------------------
+
+    def _decide(self) -> int:
+        order = self._order
+        while order:
+            _, var = heapq.heappop(order)
+            if self.values[var] == UNASSIGNED:
+                return var * 2 + 1  # default polarity: false
+        # Heap exhausted by staleness: fall back to a scan once.
+        for var in range(self.num_vars):
+            if self.values[var] == UNASSIGNED:
+                heapq.heappush(order, (-self.activity[var], var))
+                return var * 2 + 1
+        return -1
+
+    # -- main loop ------------------------------------------------------------------
+
+    def solve(self) -> list[int] | None:
+        """Solve; returns a model (var -> 0/1 list) or None if UNSAT.
+
+        Raises :class:`SolverError` when the conflict budget is exhausted.
+
+        The solver may be re-invoked after :meth:`add_clause` calls (e.g.
+        blocking clauses for model enumeration); it restarts from the
+        root decision level with all learnt clauses retained.
+        """
+        self._backtrack(0)
+        self.qhead = 0  # re-propagate the root trail over any new clauses
+        if not self._ok:
+            return None
+        conflicts = 0
+        restart_i = 1
+        restart_budget = 100 * _luby(restart_i)
+        since_restart = 0
+        if self._propagate() != -1:
+            return None
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                conflicts += 1
+                since_restart += 1
+                if conflicts > self.max_conflicts:
+                    raise SolverError(
+                        f"conflict budget exceeded ({self.max_conflicts})"
+                    )
+                if self._decision_level() == 0:
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], -1):
+                        return None
+                else:
+                    idx = len(self.clauses)
+                    if idx >= self.max_clauses:
+                        raise SolverError("clause budget exceeded")
+                    self.clauses.append(learnt)
+                    self.watches[learnt[0]].append(idx)
+                    self.watches[learnt[1]].append(idx)
+                    self._enqueue(learnt[0], idx)
+                self._var_inc *= 1.05
+                continue
+            if since_restart >= restart_budget:
+                since_restart = 0
+                restart_i += 1
+                restart_budget = 100 * _luby(restart_i)
+                self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == -1:
+                return [1 if v == 1 else 0 for v in self.values]
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, -1)

@@ -1,0 +1,134 @@
+"""Solver facade: satisfiability checking over expression constraints.
+
+:class:`Solver` is the Z3/STP stand-in the tool profiles call.  Each
+:meth:`check` builds a fresh SAT instance from the asserted constraints
+(plus optional extra assumptions), so the object behaves like an
+incremental solver without the bookkeeping.
+
+Budgets are first-class: ``max_conflicts`` and ``max_clauses`` bound
+the work per query, and exhausting them raises :class:`SolverError`,
+which the evaluation harness classifies as the paper's ``E`` outcome
+(abnormal exit / no feedback within the time budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SolverError
+from .bitblast import BitBlaster
+from .expr import Expr, eval_expr, mk_bool_and
+from .sat import SatSolver
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one satisfiability query."""
+
+    status: str                      # "sat" | "unsat"
+    model: dict[str, int] | None = None
+
+    @property
+    def sat(self) -> bool:
+        return self.status == "sat"
+
+
+class Solver:
+    """Accumulates boolean (width-1) constraints and answers queries."""
+
+    def __init__(self, max_conflicts: int = 100_000, max_clauses: int = 1_500_000,
+                 max_nodes: int | None = None):
+        self.constraints: list[Expr] = []
+        self.max_conflicts = max_conflicts
+        self.max_clauses = max_clauses
+        #: Optional cap on the constraint DAG size; queries over it fail
+        #: immediately with a budget error (cheap detection of
+        #: crypto-scale formulas before any encoding work).
+        self.max_nodes = max_nodes
+        self.queries = 0
+
+    def add(self, expr: Expr) -> None:
+        if expr.width != 1:
+            raise SolverError("constraints must be width 1")
+        self.constraints.append(expr)
+
+    def extend(self, exprs) -> None:
+        for expr in exprs:
+            self.add(expr)
+
+    def clone(self) -> "Solver":
+        other = Solver(self.max_conflicts, self.max_clauses)
+        other.constraints = list(self.constraints)
+        return other
+
+    # -- queries -------------------------------------------------------------
+
+    def check(self, extra: list[Expr] | None = None) -> CheckResult:
+        """Check satisfiability of the asserted constraints (+ *extra*).
+
+        Raises :class:`SolverError` on budget exhaustion or when a
+        constraint needs a theory the bit-blaster lacks (FP, symbolic
+        divisors).
+        """
+        self.queries += 1
+        todo = self.constraints + list(extra or [])
+        # Fast constant paths.
+        pending = []
+        for expr in todo:
+            if expr.is_const:
+                if not expr.value:
+                    return CheckResult("unsat")
+                continue
+            pending.append(expr)
+        if not pending:
+            return CheckResult("sat", {})
+        from .intervals import presolve_unsat
+
+        if presolve_unsat(pending):
+            return CheckResult("unsat")
+        if self.max_nodes is not None:
+            total = sum(e.size() for e in pending)
+            if total > self.max_nodes:
+                raise SolverError(
+                    f"constraint model too large ({total} nodes > {self.max_nodes})"
+                )
+        sat = SatSolver(self.max_conflicts, self.max_clauses)
+        blaster = BitBlaster(sat)
+        try:
+            for expr in pending:
+                blaster.assert_true(expr)
+        except RecursionError:
+            raise SolverError("formula too deep to encode") from None
+        model = sat.solve()
+        if model is None:
+            return CheckResult("unsat")
+        return CheckResult("sat", blaster.extract_model(model))
+
+    def check_with_cache(self, extra: list[Expr], cached_model: dict[str, int] | None
+                         ) -> CheckResult:
+        """Like :meth:`check`, but first test *cached_model* by evaluation.
+
+        Concolic engines keep the concrete input of the current round
+        around; if it already satisfies the new constraint set, no SAT
+        query is needed — the standard "concretization cache" trick.
+        """
+        if cached_model is not None:
+            todo = self.constraints + list(extra)
+            try:
+                if all(eval_expr(e, cached_model) for e in todo):
+                    return CheckResult("sat", dict(cached_model))
+            except SolverError:
+                pass
+        return self.check(extra)
+
+    def conjunction(self, extra: list[Expr] | None = None) -> Expr:
+        """The asserted constraints as a single boolean expression."""
+        return mk_bool_and(*(self.constraints + list(extra or [])))
+
+
+def solve(constraints: list[Expr], max_conflicts: int = 100_000,
+          max_clauses: int = 1_500_000) -> CheckResult:
+    """One-shot satisfiability check of *constraints*."""
+    solver = Solver(max_conflicts, max_clauses)
+    solver.extend(constraints)
+    return solver.check()

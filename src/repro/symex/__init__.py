@@ -1,0 +1,21 @@
+"""Static (Angr-style) symbolic execution engine."""
+
+from .explorer import AngrEngine, EngineAbort, SymexReport
+from .policy import SymexPolicy
+from .simprocedures import SIMPROCEDURES, sym_atoi, sym_strlen
+from .state import EngineFile, EnginePipe, SymState
+from .syscall_model import SyscallModel
+
+__all__ = [
+    "AngrEngine",
+    "EngineAbort",
+    "EngineFile",
+    "EnginePipe",
+    "SIMPROCEDURES",
+    "SymState",
+    "SymexPolicy",
+    "SymexReport",
+    "SyscallModel",
+    "sym_atoi",
+    "sym_strlen",
+]

@@ -1,0 +1,92 @@
+"""REXX simprocedures: faithful library summaries.
+
+Where the 2016-era tools hook computational externals with invented
+values (the source of the paper's Es2/P failures and the negative-bomb
+false positive), REXX's summaries preserve the input/output *relation*:
+
+* ``sin``/``cos``/``pow`` build transcendental expression nodes the
+  local-search solver can evaluate;
+* ``atof`` returns a tracked input-conversion variable that is rendered
+  back into the argv string when a model is found;
+* ``pthread_create`` inlines the thread body at the call site
+  (run-to-completion schedule);
+* ``signal`` records the handler so the engine can model fault edges;
+* crypto remains unconstrained — and REXX's honest-claims rule means it
+  simply *fails* on those bombs instead of hallucinating.
+"""
+
+from __future__ import annotations
+
+from ..smt import mk_const, mk_fp, mk_var
+from .simprocedures import SIMPROCEDURES
+
+
+def rexx_sin(engine, state, args):
+    return mk_fp("fsin64", args[0])
+
+
+def rexx_cos(engine, state, args):
+    return mk_fp("fcos64", args[0])
+
+
+def rexx_pow(engine, state, args):
+    return mk_fp("fpow64", args[0], args[1])
+
+
+def rexx_fabs(engine, state, args):
+    # |x| = x * sign; model via pow(x*x, 0.5)-free route: keep it as a
+    # transcendental-ish relation using multiplication then sqrt via pow.
+    squared = mk_fp("fmul64", args[0], args[0])
+    half = mk_const(0x3FE0000000000000, 64)  # 0.5
+    return mk_fp("fpow64", squared, half)
+
+
+def rexx_atof(engine, state, args):
+    """Tracked input-conversion variable: the claim renderer turns the
+    found double back into a decimal argv string."""
+    name = engine.fresh_name("atof")
+    engine.input_vars.add(name)
+    ptr = args[0]
+    if ptr.is_const and ptr.value in engine._argv_addrs:
+        engine.render_requests[name] = engine._argv_addrs[ptr.value]
+    return mk_var(name, 64)
+
+
+def rexx_pthread_create(engine, state, args):
+    """Inline the thread body (run-to-completion): jump straight into
+    the entry function; its RET returns to the pthread_create call site."""
+    entry = args[0]
+    if not entry.is_const:
+        return mk_const(-1 & ((1 << 64) - 1), 64)
+    state.set_reg(1, args[1])  # the thread argument
+    return ("jump", entry.value)
+
+
+def rexx_pthread_join(engine, state, args):
+    return mk_const(0, 64)
+
+
+def rexx_signal(engine, state, args):
+    signo = args[0]
+    handler = args[1]
+    if signo.is_const and signo.value == 8 and handler.is_const:
+        state.sig_handler = handler.value
+    return mk_const(0, 64)
+
+
+def rexx_fork(engine, state, args):
+    return mk_const(0, 64)  # follow the child
+
+
+REXX_SIMPROCEDURES = {
+    **SIMPROCEDURES,
+    "sin": rexx_sin,
+    "cos": rexx_cos,
+    "pow": rexx_pow,
+    "fabs": rexx_fabs,
+    "atof": rexx_atof,
+    "pthread_create": rexx_pthread_create,
+    "pthread_join": rexx_pthread_join,
+    "signal": rexx_signal,
+    "fork": rexx_fork,
+}

@@ -1,0 +1,294 @@
+"""System-call model for the static symbolic engine (SimuVEX's role).
+
+The model is deliberately *partial*, matching the 2016-era support
+matrix the paper diagnoses:
+
+* pipes are modeled in-engine with symbolic contents;
+* files are modeled with **concrete** contents — symbolic writes are
+  concretized (Es2 on the covert-file bombs);
+* ``getpid``/``getmagic``/``msgrecv`` return fresh unconstrained values
+  (the paper's P cells);
+* ``fork`` is unsupported at syscall level (returns -1; the no-lib
+  *simprocedure* is what follows the child);
+* ``brk``, ``signal`` and the simulated network have **no model**:
+  reaching them aborts the analysis — the paper's E cells.
+"""
+
+from __future__ import annotations
+
+from ..errors import DiagnosticKind, EngineError
+from ..smt import Expr, eval_expr, mk_const, mk_eq, mk_var
+from ..vm.env import Environment
+from ..vm.syscalls import O_CREAT, O_TRUNC, Sys
+from .state import EngineFile, EnginePipe, EngineSymFile, SymState
+
+MASK64 = (1 << 64) - 1
+
+
+class SyscallModel:
+    """Dispatches SYSCALL instructions against the engine environment."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def dispatch(self, state: SymState) -> None:
+        engine = self.engine
+        nr_expr = state.get_reg(0)
+        if not nr_expr.is_const:
+            # The engine cannot know *which* kernel service this is, so
+            # it models no effect at all and invents the return value —
+            # the contextual-symbolic-value failure (Es2).
+            engine.diags.emit(
+                DiagnosticKind.CONCRETIZED_ENV,
+                "input-dependent syscall number: effect unmodeled, "
+                "return value unconstrained",
+            )
+            name = engine.fresh_name("sysdyn")
+            engine.computation_vars.add(name)
+            state.set_reg(0, mk_var(name, 64))
+            return
+        nr = nr_expr.value
+        args = [state.get_reg(i) for i in range(1, 6)]
+        ret = self._syscall(state, nr, args)
+        if ret is not None:
+            state.set_reg(0, ret)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _conc(self, state: SymState, expr: Expr) -> int:
+        if expr.is_const:
+            return expr.value
+        return eval_expr(expr, state.model) & MASK64
+
+    def _alloc_fd(self, state: SymState, handle) -> int:
+        fd = state.next_fd
+        state.next_fd += 1
+        state.fds[fd] = handle
+        return fd
+
+    def _open_faithful(self, state: SymState, path: str, flags: int):
+        """REXX's filesystem model: files hold expressions, and opening a
+        missing path succeeds against a symbolic environment file whose
+        required contents are reported with the claim."""
+        from ..vm.syscalls import O_CREAT as _C, O_TRUNC as _T
+
+        engine = self.engine
+        exists = path in state.files
+        if not exists and not flags & _C:
+            if not engine.policy.env_symbolic:
+                return mk_const(-1 & MASK64, 64)
+            var_names = []
+            content = []
+            for i in range(8):
+                name = f"env_file_{len(engine.env_requirements.get('files', {}))}_{i}"
+                engine.input_vars.add(name)
+                var_names.append(name)
+                content.append(mk_var(name, 8))
+            engine.env_requirements.setdefault("files", {})[path] = var_names
+            state.files[path] = EngineSymFile(content, 0)
+        elif not exists or flags & _T:
+            state.files[path] = EngineSymFile()
+        handle = state.files[path]
+        handle = EngineSymFile(list(handle.data), 0)
+        state.files[path] = handle
+        return mk_const(self._alloc_fd(state, handle), 64)
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _syscall(self, state: SymState, nr: int, args: list[Expr]) -> Expr | None:
+        engine = self.engine
+        diags = engine.diags
+
+        if nr == Sys.BOMB:
+            state.goal = True
+            state.alive = False
+            return None
+        if nr == Sys.EXIT:
+            state.alive = False
+            return None
+        if nr == Sys.WRITE:
+            fd = self._conc(state, args[0])
+            buf = self._conc(state, args[1])
+            length = min(self._conc(state, args[2]), 4096)
+            handle = state.fds.get(fd)
+            if isinstance(handle, EnginePipe):
+                for i in range(length):
+                    handle.data.append(state.read_byte(buf + i))
+                return mk_const(length, 64)
+            if isinstance(handle, EngineSymFile):
+                for i in range(length):
+                    end = handle.pos + i
+                    while end >= len(handle.data):
+                        handle.data.append(mk_const(0, 8))
+                    handle.data[end] = state.read_byte(buf + i)
+                handle.pos += length
+                return mk_const(length, 64)
+            if isinstance(handle, EngineFile):
+                symbolic = False
+                for i in range(length):
+                    byte = state.read_byte(buf + i)
+                    if not byte.is_const:
+                        symbolic = True
+                        byte = mk_const(eval_expr(byte, state.model) & 0xFF, 8)
+                    end = handle.pos + i
+                    if end >= len(handle.data):
+                        handle.data.extend(b"\0" * (end - len(handle.data) + 1))
+                    handle.data[end] = byte.value
+                handle.pos += length
+                if symbolic:
+                    diags.emit(
+                        DiagnosticKind.CONCRETIZED_ENV,
+                        "symbolic data concretized on write into the modeled filesystem",
+                    )
+                return mk_const(length, 64)
+            # stdout/stderr/unknown: data leaves the analysis.
+            if state.range_has_symbolic(buf, length):
+                state.env_escaped = True
+            return mk_const(length, 64)
+        if nr == Sys.READ:
+            fd = self._conc(state, args[0])
+            buf = self._conc(state, args[1])
+            length = min(self._conc(state, args[2]), 4096)
+            handle = state.fds.get(fd)
+            if isinstance(handle, EnginePipe):
+                count = min(length, len(handle.data))
+                for i in range(count):
+                    state.write_byte(buf + i, handle.data[i])
+                del handle.data[:count]
+                return mk_const(count, 64)
+            if isinstance(handle, EngineSymFile):
+                chunk = handle.data[handle.pos : handle.pos + length]
+                for i, byte in enumerate(chunk):
+                    state.write_byte(buf + i, byte)
+                handle.pos += len(chunk)
+                return mk_const(len(chunk), 64)
+            if isinstance(handle, EngineFile):
+                chunk = bytes(handle.data[handle.pos : handle.pos + length])
+                for i, value in enumerate(chunk):
+                    state.write_byte(buf + i, mk_const(value, 8))
+                handle.pos += len(chunk)
+                return mk_const(len(chunk), 64)
+            return mk_const(0, 64)
+        if nr == Sys.OPEN:
+            path_addr = self._conc(state, args[0])
+            path_symbolic = state.cstr_has_symbolic(path_addr)
+            if path_symbolic:
+                diags.emit(
+                    DiagnosticKind.CONCRETIZED_ENV,
+                    "symbolic file name concretized against the empty modeled filesystem",
+                )
+            path = state.read_cstr_concrete(path_addr).decode("latin1")
+            flags = self._conc(state, args[1])
+            if engine.policy.faithful_fs:
+                if path_symbolic:
+                    # Pin the name so the claimed argv and the claimed
+                    # environment file agree.
+                    for i, ch in enumerate(path.encode("latin1") + b"\0"):
+                        byte = state.read_byte(path_addr + i)
+                        if not byte.is_const:
+                            state.add_constraint(mk_eq(byte, mk_const(ch, 8)))
+                return self._open_faithful(state, path, flags)
+            exists = path in state.files
+            if not exists and not flags & O_CREAT:
+                return mk_const(-1 & MASK64, 64)
+            if not exists or flags & O_TRUNC:
+                state.files[path] = EngineFile()
+            handle = state.files[path]
+            handle = EngineFile(handle.data, 0)
+            state.files[path] = handle
+            return mk_const(self._alloc_fd(state, handle), 64)
+        if nr == Sys.CLOSE:
+            state.fds.pop(self._conc(state, args[0]), None)
+            return mk_const(0, 64)
+        if nr == Sys.UNLINK:
+            path = state.read_cstr_concrete(self._conc(state, args[0])).decode("latin1")
+            return mk_const(0 if state.files.pop(path, None) else -1 & MASK64, 64)
+        if nr == Sys.LSEEK:
+            handle = state.fds.get(self._conc(state, args[0]))
+            if isinstance(handle, EngineFile):
+                handle.pos = self._conc(state, args[1])
+                return mk_const(handle.pos, 64)
+            return mk_const(-1 & MASK64, 64)
+        if nr == Sys.TIME:
+            if engine.policy.env_symbolic:
+                engine.env_requirements["time"] = "env_time"
+                engine.input_vars.add("env_time")
+                return mk_var("env_time", 64)
+            # angr-style: the analysis host's clock, a concrete value.
+            return mk_const(Environment().time_value, 64)
+        if nr == Sys.GETPID and engine.policy.env_symbolic:
+            engine.env_requirements["pid"] = "env_pid"
+            engine.input_vars.add("env_pid")
+            return mk_var("env_pid", 64)
+        if nr == Sys.GETMAGIC and engine.policy.env_symbolic:
+            engine.env_requirements["magic"] = "env_magic"
+            engine.input_vars.add("env_magic")
+            return mk_var("env_magic", 64)
+        if nr == Sys.MSGRECV and engine.policy.model_mailbox:
+            if state.mailbox:
+                return state.mailbox.pop(0)
+            return mk_const(0, 64)
+        if nr in (Sys.GETPID, Sys.GETMAGIC, Sys.MSGRECV):
+            name = engine.fresh_name(f"sys{nr}")
+            engine.computation_vars.add(name)
+            diags.emit(
+                DiagnosticKind.SIMULATED_SYSCALL_VALUE,
+                f"syscall {Sys(nr).name.lower()} simulated with an unconstrained return",
+            )
+            return mk_var(name, 64)
+        if nr == Sys.MSGSEND:
+            if engine.policy.model_mailbox:
+                state.mailbox.append(args[0])
+                return mk_const(0, 64)
+            if not args[0].is_const:
+                state.env_escaped = True
+            return mk_const(0, 64)
+        if nr == Sys.FORK:
+            diags.emit(
+                DiagnosticKind.CROSS_PROCESS_LOST,
+                "fork unsupported at syscall level; child never followed",
+            )
+            return mk_const(-1 & MASK64, 64)
+        if nr == Sys.PIPE:
+            pipe = EnginePipe()
+            rfd = self._alloc_fd(state, pipe)
+            wfd = self._alloc_fd(state, pipe)
+            base = self._conc(state, args[0])
+            state.write_concrete_mem(base, mk_const(rfd, 64), 8)
+            state.write_concrete_mem(base + 8, mk_const(wfd, 64), 8)
+            return mk_const(0, 64)
+        if nr == Sys.WAITPID:
+            status = self._conc(state, args[1])
+            if status:
+                state.write_concrete_mem(status, mk_const(0, 64), 8)
+            return args[0]
+        if nr == Sys.THREAD_CREATE:
+            diags.emit(
+                DiagnosticKind.CROSS_THREAD_LOST,
+                "thread creation modeled as a no-op; body never executed",
+            )
+            return mk_const(2, 64)
+        if nr == Sys.THREAD_JOIN or nr == Sys.YIELD:
+            return mk_const(0, 64)
+        if nr == Sys.HTTP_GET and engine.policy.env_symbolic:
+            url = state.read_cstr_concrete(self._conc(state, args[0])).decode("latin1")
+            cap = min(self._conc(state, args[2]), 16)
+            var_names = []
+            for i in range(cap):
+                name = f"env_web_{len(engine.env_requirements.get('network', {}))}_{i}"
+                engine.input_vars.add(name)
+                var_names.append(name)
+                state.write_byte(self._conc(state, args[1]) + i, mk_var(name, 8))
+            engine.env_requirements.setdefault("network", {})[url] = var_names
+            return mk_const(cap, 64)
+        if nr == Sys.SIGNAL and engine.policy.model_signals:
+            state.sig_handler = self._conc(state, args[1])
+            return mk_const(0, 64)
+        if nr == Sys.BRK and not engine.policy.with_libs:
+            # (REXX runs no-lib; malloc is hooked, but be permissive.)
+            return mk_const(state.heap_next, 64)
+        # No model: brk, signal, the simulated network, anything unknown.
+        raise EngineError(
+            DiagnosticKind.UNSUPPORTED_SYSCALL,
+            f"no model for syscall {nr}",
+        )

@@ -1,0 +1,15 @@
+"""Tool configurations and the unified analysis interface."""
+
+from .api import Tool, ToolReport, all_tool_names, get_tool
+from .profiles import ANGRX, ANGRX_NOLIB, BAPX, TRITONX
+
+__all__ = [
+    "ANGRX",
+    "ANGRX_NOLIB",
+    "BAPX",
+    "TRITONX",
+    "Tool",
+    "ToolReport",
+    "all_tool_names",
+    "get_tool",
+]

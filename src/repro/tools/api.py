@@ -1,0 +1,120 @@
+"""Unified tool interface over the two engine families.
+
+``get_tool(name)`` returns a :class:`Tool` for any Table II column
+(``bapx``, ``tritonx``, ``angrx``, ``angrx_nolib``) or the extension
+tool ``rexx``.  ``Tool.analyze_bomb`` runs the engine and **validates
+every claimed input by concrete replay** before granting success — the
+paper's acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..bombs.suite import Bomb
+from ..concolic import ConcolicEngine
+from ..errors import DiagnosticLog
+from ..symex import AngrEngine
+from ..vm import Environment
+from .profiles import SYMEX_PROFILES, TRACE_PROFILES
+
+
+@dataclass
+class ToolReport:
+    """Normalized result of one tool run on one bomb."""
+
+    tool: str
+    bomb_id: str
+    solved: bool = False
+    solution: list[bytes] | None = None
+    solution_env: Environment | None = None
+    goal_claimed: bool = False
+    claimed_inputs: list[list[bytes]] = field(default_factory=list)
+    diagnostics: DiagnosticLog = field(default_factory=DiagnosticLog)
+    aborted: str | None = None
+    elapsed: float = 0.0
+    false_positive: bool = False
+
+    def diag_kinds(self) -> set:
+        return {d.kind for d in self.diagnostics}
+
+
+class Tool:
+    """One concolic/symbolic execution tool configuration."""
+
+    def __init__(self, name: str):
+        self.name = name
+        if name in TRACE_PROFILES:
+            self.family = "trace"
+            self.policy = TRACE_PROFILES[name]
+        elif name in SYMEX_PROFILES:
+            self.family = "symex"
+            self.policy = SYMEX_PROFILES[name]
+        else:
+            raise KeyError(
+                f"unknown tool {name!r}; known: "
+                f"{sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES) + ['rexx']}"
+            )
+
+    def analyze_bomb(self, bomb: Bomb) -> ToolReport:
+        """Run this tool on *bomb* and validate any claimed solutions."""
+        start = time.monotonic()
+        if self.family == "trace":
+            report = self._run_trace(bomb)
+        else:
+            report = self._run_symex(bomb)
+        report.elapsed = time.monotonic() - start
+        if bomb.expected_unreachable and report.goal_claimed and not report.solved:
+            report.false_positive = True
+        return report
+
+    # -- engines ------------------------------------------------------------
+
+    def _run_trace(self, bomb: Bomb) -> ToolReport:
+        engine = ConcolicEngine(self.policy)
+        raw = engine.run(
+            bomb.image, bomb.seed_argv, bomb.base_env(),
+            argv0=bomb.bomb_id.encode(),
+        )
+        return ToolReport(
+            tool=self.name,
+            bomb_id=bomb.bomb_id,
+            solved=raw.solved,
+            solution=raw.solution,
+            goal_claimed=raw.solved,
+            claimed_inputs=raw.claimed_inputs,
+            diagnostics=raw.diagnostics,
+            aborted=raw.aborted,
+        )
+
+    def _run_symex(self, bomb: Bomb) -> ToolReport:
+        engine = AngrEngine(bomb.image, self.policy)
+        raw = engine.explore(bomb.seed_argv, argv0=bomb.bomb_id.encode())
+        report = ToolReport(
+            tool=self.name,
+            bomb_id=bomb.bomb_id,
+            goal_claimed=raw.goal_claimed,
+            claimed_inputs=raw.claimed_inputs,
+            diagnostics=raw.diagnostics,
+            aborted=raw.aborted,
+        )
+        for claim in raw.claimed_inputs:
+            if bomb.triggers(claim):
+                report.solved = True
+                report.solution = claim
+                break
+        return report
+
+
+def get_tool(name: str) -> Tool:
+    """Look up a tool by Table II column name (or ``rexx``)."""
+    if name == "rexx":
+        from .rexx import RexxTool
+
+        return RexxTool()
+    return Tool(name)
+
+
+def all_tool_names() -> list[str]:
+    return sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES)

@@ -1,0 +1,57 @@
+"""The evaluated tool configurations (the paper's Table II columns).
+
+Each profile encodes the 2016/2017-era capability matrix of the real
+tool it models.  Sources for the switches: the paper's Section V.C
+analysis (Triton's missing FP lifting, BAP's primitive support, Angr's
+symbolic memory map and system-call simulation) and the tools' public
+documentation of that era.
+"""
+
+from __future__ import annotations
+
+from ..concolic.policy import ToolPolicy
+from ..symex.policy import SymexPolicy
+
+#: BAP 0.9-era: Pin tracer (follows threads + signals), OCaml lifter
+#: without FP coverage, push/pop modeled as pure SP arithmetic, explicit
+#: division guards in the IL, taint not instrumented through library
+#: data, argv declared as a fixed 8-byte word.
+BAPX = ToolPolicy(
+    name="bapx",
+    supports_fp=False,
+    lifts_stack_memory=False,
+    signal_trace=True,
+    cross_thread_taint=True,
+    div_guard=True,
+    lib_data_taint=False,
+    env_arg_diag="es2",
+    argv_model="word8",
+)
+
+#: Triton ~2016: Pin tracer with per-thread SSA state, no FP instruction
+#: semantics, no signal stitching, models syscall arguments as SMT but
+#: lacks the theories (Es3 on contextual values), per-byte argv frozen
+#: at the seed's length.
+TRITONX = ToolPolicy(
+    name="tritonx",
+    supports_fp=False,
+    lifts_stack_memory=True,
+    signal_trace=False,
+    cross_thread_taint=False,
+    div_guard=False,
+    lib_data_taint=True,
+    env_arg_diag="es3",
+    argv_model="per-byte",
+)
+
+#: angr ~2016 with libraries loaded: static whole-program lift, symbolic
+#: execution of .lib code, partial syscall model, single-level symbolic
+#: memory.
+ANGRX = SymexPolicy(name="angrx", with_libs=True)
+
+#: angr without libraries: library calls intercepted by simprocedures.
+ANGRX_NOLIB = SymexPolicy(name="angrx_nolib", with_libs=False)
+
+
+TRACE_PROFILES = {p.name: p for p in (BAPX, TRITONX)}
+SYMEX_PROFILES = {p.name: p for p in (ANGRX, ANGRX_NOLIB)}

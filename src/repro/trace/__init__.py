@@ -1,0 +1,15 @@
+"""Instruction tracing (the Pin role) and taint accounting."""
+
+from .record import SignalEvent, StepEvent, SyscallEvent, Trace, TraceEvent
+from .taint import taint_summary
+from .tracer import record_trace
+
+__all__ = [
+    "SignalEvent",
+    "StepEvent",
+    "SyscallEvent",
+    "Trace",
+    "TraceEvent",
+    "record_trace",
+    "taint_summary",
+]

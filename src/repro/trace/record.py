@@ -1,0 +1,74 @@
+"""Trace event records produced by the tracer (the Pin role).
+
+A trace is a flat list of events in execution order.  Instruction
+events carry only (pid, tid, instruction): replay engines re-derive
+data values by shadow execution from the image's initial state, exactly
+as trace-replay concolic tools do.  Environment effects that shadow
+execution cannot re-derive — system-call results, the memory bytes a
+syscall wrote, signal deliveries — are recorded explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import Instruction
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One instruction about to execute."""
+
+    pid: int
+    tid: int
+    instr: Instruction
+
+
+@dataclass(frozen=True)
+class SyscallEvent:
+    """A completed system call with its memory effects."""
+
+    pid: int
+    tid: int
+    nr: int
+    args: tuple[int, ...]
+    ret: int
+    #: (addr, bytes) pairs the kernel wrote into process memory.
+    writes: tuple[tuple[int, bytes], ...] = ()
+
+
+@dataclass(frozen=True)
+class SignalEvent:
+    """A signal delivery (handler invocation) in the traced process."""
+
+    pid: int
+    tid: int
+    signo: int
+    handler: int
+    resume_pc: int
+
+
+TraceEvent = StepEvent | SyscallEvent | SignalEvent
+
+
+@dataclass
+class Trace:
+    """A recorded concrete execution of one process tree's root."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    argv: list[bytes] = field(default_factory=list)
+    argv_regions: list[tuple[int, int]] = field(default_factory=list)
+    bomb_triggered: bool = False
+    exit_code: int | None = None
+    forked: bool = False
+    main_pid: int = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def steps(self):
+        return (e for e in self.events if isinstance(e, StepEvent))
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.steps())

@@ -1,0 +1,68 @@
+"""Instruction tracer over the concrete VM — the Intel Pin stand-in.
+
+Like a Pin tool, the tracer instruments *one process*: it records every
+instruction of every thread of the root process, syscall completions
+with their memory effects, and signal deliveries.  Child processes
+created by ``fork`` execute but are not recorded — the fidelity gap the
+parallel-program challenge exploits.
+"""
+
+from __future__ import annotations
+
+from ..binfmt import Image
+from ..vm import Environment, Machine
+from ..vm.syscalls import Sys
+from .record import SignalEvent, StepEvent, SyscallEvent, Trace
+
+
+def record_trace(
+    image: Image,
+    argv: list[bytes],
+    env: Environment | None = None,
+    max_steps: int = 1_000_000,
+    max_events: int = 2_000_000,
+) -> Trace:
+    """Concretely execute *image* and return the recorded trace."""
+    machine = Machine(image, argv, env)
+    trace = Trace(argv=list(argv), main_pid=machine.main_pid)
+    trace.argv_regions = list(machine.argv_regions)
+
+    def on_step(proc, thread, instr):
+        if proc.pid != machine.main_pid or len(trace.events) >= max_events:
+            return
+        trace.events.append(StepEvent(proc.pid, thread.tid, instr))
+
+    def on_syscall(proc, thread, nr, args, ret):
+        if proc.pid != machine.main_pid or len(trace.events) >= max_events:
+            return
+        writes: list[tuple[int, bytes]] = []
+        mem = proc.memory
+        if nr == Sys.READ and ret > 0:
+            writes.append((args[1], mem.read(args[1], ret)))
+        elif nr == Sys.HTTP_GET and ret > 0:
+            writes.append((args[1], mem.read(args[1], ret)))
+        elif nr == Sys.PIPE and ret == 0:
+            writes.append((args[0], mem.read(args[0], 16)))
+        elif nr == Sys.WAITPID and ret >= 0 and args[1]:
+            writes.append((args[1], mem.read(args[1], 8)))
+        if nr == Sys.FORK and ret > 0:
+            trace.forked = True
+        trace.events.append(
+            SyscallEvent(proc.pid, thread.tid, nr, tuple(args), ret, tuple(writes))
+        )
+
+    def on_signal(proc, thread, signo, handler):
+        if proc.pid != machine.main_pid:
+            return
+        instr = machine._fetch(proc, thread.ctx.pc)
+        trace.events.append(
+            SignalEvent(proc.pid, thread.tid, signo, handler, instr.next_addr)
+        )
+
+    machine.on_step = on_step
+    machine.on_syscall = on_syscall
+    machine.on_signal = on_signal
+    result = machine.run(max_steps)
+    trace.bomb_triggered = result.bomb_triggered
+    trace.exit_code = result.exit_code
+    return trace

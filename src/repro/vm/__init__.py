@@ -1,0 +1,35 @@
+"""Concrete RX64 virtual machine with an in-VM OS layer."""
+
+from .cpu import Context, Flags, alu, bits_to_f32, bits_to_f64, f32_round, f32_to_bits, f64_to_bits, s64, sext, u64
+from .env import Environment
+from .filesystem import FileSystem, Pipe
+from .machine import Machine, Process, RunResult, Thread, run_image
+from .memory import Memory
+from .syscalls import BOMB_EXIT_CODE, SIGFPE, Sys
+
+__all__ = [
+    "BOMB_EXIT_CODE",
+    "Context",
+    "Environment",
+    "FileSystem",
+    "Flags",
+    "Machine",
+    "Memory",
+    "Pipe",
+    "Process",
+    "RunResult",
+    "SIGFPE",
+    "Sys",
+    "Thread",
+    "alu",
+    "bits_to_f32",
+    "bits_to_f64",
+    "f32_round",
+    "f32_to_bits",
+    "f64_to_bits",
+    "run_image",
+    "s64",
+    "sext",
+    "u64",
+    "run_image",
+]

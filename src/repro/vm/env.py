@@ -1,0 +1,55 @@
+"""Execution environment for a VM run.
+
+The environment bundles every input channel *other than* ``argv``: the
+simulated wall clock, process id, the in-memory filesystem's initial
+contents, simulated web content, and the kernel "magic" value used by
+the symbolic-syscall bombs.
+
+The paper's Es0 challenge is exactly that real tools only declare
+``argv`` symbolic; the environment is the part they miss.  Bombs whose
+trigger lives in the environment ship an *oracle environment* instead
+of (or in addition to) an oracle ``argv``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Environment:
+    """Non-argv inputs to a concrete execution."""
+
+    #: Value returned by ``SYS_TIME`` (seconds since epoch, simulated).
+    time_value: int = 1_700_000_000
+    #: Value returned by ``SYS_GETPID``.
+    pid: int = 4242
+    #: Value returned by ``SYS_GETMAGIC``.
+    magic: int = 42
+    #: Initial filesystem contents: path -> bytes.
+    files: dict[str, bytes] = field(default_factory=dict)
+    #: Simulated web: url -> response body (missing url => HTTP_GET fails).
+    network: dict[str, bytes] = field(default_factory=dict)
+    #: Bytes available on the program's standard input.
+    stdin: bytes = b""
+
+    def clone(self) -> "Environment":
+        return Environment(
+            time_value=self.time_value,
+            pid=self.pid,
+            magic=self.magic,
+            files=dict(self.files),
+            network=dict(self.network),
+            stdin=self.stdin,
+        )
+
+    def merged(self, other: "Environment | None") -> "Environment":
+        """Overlay *other* (an oracle environment) onto this one."""
+        if other is None:
+            return self.clone()
+        merged = other.clone()
+        for path, data in self.files.items():
+            merged.files.setdefault(path, data)
+        for url, data in self.network.items():
+            merged.network.setdefault(url, data)
+        return merged

@@ -1,0 +1,61 @@
+"""RX64 system-call numbers and metadata.
+
+Convention: syscall number in ``r0``, arguments in ``r1``..``r5``,
+return value in ``r0``.  Negative returns signal errors (``-1``).
+
+``SYS_BOMB`` is the oracle: executing it marks the logic bomb as
+triggered.  All bombs call it through the ``bomb`` library routine, so
+analysis tools can direct their search at the ``bomb`` symbol exactly
+the way the paper's Angr scripts perform directed symbolic execution
+toward the bomb path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Sys(enum.IntEnum):
+    EXIT = 0
+    READ = 1
+    WRITE = 2
+    OPEN = 3
+    CLOSE = 4
+    UNLINK = 5
+    TIME = 6
+    GETPID = 7
+    FORK = 8
+    PIPE = 9
+    WAITPID = 10
+    THREAD_CREATE = 11
+    THREAD_JOIN = 12
+    YIELD = 13
+    HTTP_GET = 14
+    BRK = 15
+    SIGNAL = 16
+    MSGSEND = 17
+    MSGRECV = 18
+    GETMAGIC = 19
+    LSEEK = 20
+    BOMB = 60
+
+
+#: open(2) flag bits.
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_EXCL = 0x80
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+#: Signal numbers.
+SIGFPE = 8
+SIGSEGV = 11
+
+#: Exit code a process terminates with after the bomb syscall.
+BOMB_EXIT_CODE = 42
+
+#: Magic addresses intercepted by the machine (never mapped).
+SIGRETURN_ADDR = 0xFFFF_F000
+THREAD_EXIT_ADDR = 0xFFFF_E000

@@ -1,0 +1,100 @@
+"""Shared test helpers: assembly/compile-and-run shortcuts and a
+reference AES implementation independent of the guest runtime."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.binfmt import Image, link
+from repro.lang import compile_single, compile_sources
+from repro.vm import Environment, Machine, RunResult
+
+
+def run_asm(source: str, argv: list[bytes] | None = None,
+            env: Environment | None = None, max_steps: int = 1_000_000) -> RunResult:
+    """Assemble, link and run a raw-assembly program (entry ``_start``)."""
+    image = link([assemble(source, "test.s")])
+    return Machine(image, argv or [b"test"], env).run(max_steps)
+
+
+def run_bc(source: str, argv: list[bytes] | None = None,
+           env: Environment | None = None, max_steps: int = 5_000_000) -> RunResult:
+    """Compile a BombC program (with runtime) and run it."""
+    image = compile_single(source)
+    return Machine(image, argv or [b"test"], env).run(max_steps)
+
+
+def compile_bc(source: str) -> Image:
+    return compile_single(source)
+
+
+# -- reference AES-128 (for validating the guest implementation) ---------------
+
+def _aes_sbox() -> list[int]:
+    sbox = [0] * 256
+    p = q = 1
+    while True:
+        p = (p ^ ((p << 1) & 0xFF) ^ ((p >> 7) * 0x1B)) & 0xFF
+        q ^= (q << 1) & 0xFF
+        q ^= (q << 2) & 0xFF
+        q ^= (q << 4) & 0xFF
+        q ^= (q >> 7) * 0x09
+        q &= 0xFF
+        rot = lambda x, n: ((x << n) | (x >> (8 - n))) & 0xFF
+        sbox[p] = q ^ rot(q, 1) ^ rot(q, 2) ^ rot(q, 3) ^ rot(q, 4) ^ 0x63
+        if p == 1:
+            break
+    sbox[0] = 0x63
+    return sbox
+
+
+_SBOX = _aes_sbox()
+
+
+def _xtime(x: int) -> int:
+    x <<= 1
+    if x & 0x100:
+        x ^= 0x11B
+    return x & 0xFF
+
+
+def _expand(key: bytes) -> list[int]:
+    rk = list(key)
+    rcon = [0, 1, 2, 4, 8, 16, 32, 64, 128, 27, 54]
+    i = 16
+    while i < 176:
+        t = rk[i - 4 : i]
+        if i % 16 == 0:
+            t = [_SBOX[t[1]] ^ rcon[i // 16], _SBOX[t[2]], _SBOX[t[3]], _SBOX[t[0]]]
+        for j in range(4):
+            rk.append(rk[i - 16 + j] ^ t[j])
+        i += 4
+    return rk
+
+
+def aes128_encrypt_ref(key: bytes, pt: bytes) -> bytes:
+    """Reference AES-128 single-block encryption (column-major state)."""
+    rk = _expand(key)
+    st = [a ^ b for a, b in zip(pt, rk[:16])]
+
+    def shift_rows(s):
+        out = s[:]
+        out[1], out[5], out[9], out[13] = s[5], s[9], s[13], s[1]
+        out[2], out[6], out[10], out[14] = s[10], s[14], s[2], s[6]
+        out[3], out[7], out[11], out[15] = s[15], s[3], s[7], s[11]
+        return out
+
+    for rnd in range(1, 10):
+        st = [_SBOX[b] for b in st]
+        st = shift_rows(st)
+        ns = st[:]
+        for c in range(4):
+            a = st[4 * c : 4 * c + 4]
+            ns[4 * c + 0] = _xtime(a[0]) ^ (_xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3]
+            ns[4 * c + 1] = a[0] ^ _xtime(a[1]) ^ (_xtime(a[2]) ^ a[2]) ^ a[3]
+            ns[4 * c + 2] = a[0] ^ a[1] ^ _xtime(a[2]) ^ (_xtime(a[3]) ^ a[3])
+            ns[4 * c + 3] = (_xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ _xtime(a[3])
+        st = [x & 0xFF for x in ns]
+        st = [a ^ b for a, b in zip(st, rk[16 * rnd : 16 * rnd + 16])]
+    st = [_SBOX[b] for b in st]
+    st = shift_rows(st)
+    return bytes(a ^ b for a, b in zip(st, rk[160:176]))

@@ -1,0 +1,126 @@
+"""Tests for the logic-bomb dataset itself (Section V.A invariants)."""
+
+import statistics
+
+import pytest
+
+from repro.bombs import (
+    ALL_BOMB_IDS,
+    CHALLENGES,
+    TABLE2_BOMB_IDS,
+    TOOL_COLUMNS,
+    all_bombs,
+    dataset_sizes,
+    get_bomb,
+)
+
+
+class TestDatasetShape:
+    def test_twenty_two_table2_bombs(self):
+        assert len(TABLE2_BOMB_IDS) == 22
+
+    def test_every_challenge_has_at_least_two_cases(self):
+        # The paper: "For each challenge, we implement several programs"
+        # (the symbolic-variable category has four).
+        by_challenge = {}
+        for bomb_id in TABLE2_BOMB_IDS:
+            by_challenge.setdefault(bomb_id.split("_")[0], []).append(bomb_id)
+        paper_prefixes = {p for p in CHALLENGES
+                          if p not in ("ext", "neg", "fig3")}
+        assert set(by_challenge) == paper_prefixes
+        for prefix, bombs in by_challenge.items():
+            assert len(bombs) >= 2 or prefix in ("fp",), (prefix, bombs)
+
+    def test_paper_row_labels_present(self):
+        for bomb in all_bombs(table2_only=True):
+            assert set(bomb.expected) == set(TOOL_COLUMNS), bomb.bomb_id
+
+    def test_lookup_errors(self):
+        with pytest.raises(KeyError, match="unknown bomb"):
+            get_bomb("nonexistent")
+
+
+class TestOracles:
+    @pytest.mark.parametrize("bomb_id", ALL_BOMB_IDS)
+    def test_oracle_triggers_and_seed_does_not(self, bomb_id):
+        assert get_bomb(bomb_id).verify_oracle(), bomb_id
+
+    def test_negative_bomb_is_unreachable_for_many_inputs(self):
+        bomb = get_bomb("neg_square")
+        for arg in (b"0", b"1", b"-1", b"100", b"-7", b"999999"):
+            assert not bomb.triggers([arg]), arg
+
+    def test_environment_oracles_are_environmental(self):
+        # The sv_* env bombs must NOT trigger from argv alone.
+        for bomb_id in ("sv_time", "sv_web", "sv_syscall"):
+            bomb = get_bomb(bomb_id)
+            assert bomb.oracle_env is not None
+            assert not bomb.triggers([b"anything"])
+            assert bomb.triggers(bomb.seed_argv, bomb.oracle_env)
+
+    def test_fixed_env_part_of_world(self):
+        bomb = get_bomb("cs_file_name")
+        # The key file exists in the bomb's world; the right *name* triggers.
+        assert bomb.triggers([b"unlock.key"])
+        assert not bomb.triggers([b"wrong.name"])
+
+
+class TestSizes:
+    def test_sizes_in_band(self):
+        sizes = dataset_sizes()
+        assert len(sizes) == 22
+        assert 10_000 <= min(sizes.values())
+        assert max(sizes.values()) <= 25_000
+        assert 10_000 <= statistics.median(sizes.values()) <= 25_000
+
+    def test_images_cached(self):
+        a = get_bomb("cp_stack").image
+        b = get_bomb("cp_stack").image
+        assert a is b
+
+
+class TestBombBehaviour:
+    def test_sj_jump_every_block_returns_index(self):
+        bomb = get_bomb("sj_jump")
+        for v in range(10):
+            result = bomb.run([str(v).encode()])
+            if v == 7:
+                assert result.bomb_triggered
+            else:
+                assert not result.bomb_triggered
+                assert result.exit_code == v
+
+    def test_sj_jump_array_trigger_unique(self):
+        bomb = get_bomb("sj_jump_array")
+        hits = [v for v in range(10) if bomb.triggers([str(v).encode()])]
+        assert hits == [7]
+
+    def test_sa_l1_trigger_unique_in_range(self):
+        bomb = get_bomb("sa_l1_array")
+        hits = [v for v in range(16) if bomb.triggers([str(v).encode()])]
+        assert hits == [6]
+
+    def test_sa_l2_trigger_unique_in_range(self):
+        bomb = get_bomb("sa_l2_array")
+        hits = [v for v in range(16) if bomb.triggers([str(v).encode()])]
+        assert hits == [4]
+
+    def test_cp_exception_needs_the_fault(self):
+        bomb = get_bomb("cp_exception")
+        assert bomb.triggers([b"77"])      # |77| < 100: faults, g set
+        assert not bomb.triggers([b"177"])  # no fault, guard fails
+
+    def test_fp_float_edge(self):
+        bomb = get_bomb("fp_float")
+        assert bomb.triggers([b"0.00001"])
+        assert not bomb.triggers([b"0.001"])   # representable at 1024f
+        assert not bomb.triggers([b"-0.00001"])  # x > 0 required
+
+    def test_crypto_bombs_reject_near_misses(self):
+        assert not get_bomb("cf_sha1").triggers([b"s3cres"])
+        assert not get_bomb("cf_aes").triggers([b"k3y?"])
+
+    def test_run_returns_machine_result(self):
+        result = get_bomb("sv_arglen").run([b"12345"])
+        assert result.exit_code == 0
+        assert not result.bomb_triggered

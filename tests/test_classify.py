@@ -1,0 +1,89 @@
+"""Unit tests for the outcome classifier's precedence rules."""
+
+from repro.errors import Diagnostic, DiagnosticKind as K, DiagnosticLog, ErrorStage
+from repro.eval import CONCRETIZATION_THRESHOLD, classify
+from repro.tools.api import ToolReport
+
+
+def _report(kinds=(), solved=False, claimed=False, aborted=None, counts=None):
+    log = DiagnosticLog()
+    for kind in kinds:
+        log.emit(kind)
+    for kind, n in (counts or {}).items():
+        for _ in range(n):
+            log.emit(kind)
+    return ToolReport(tool="t", bomb_id="b", solved=solved,
+                      goal_claimed=claimed, diagnostics=log, aborted=aborted)
+
+
+class TestPrecedence:
+    def test_solved_wins_over_everything(self):
+        report = _report([K.LIFT_UNSUPPORTED, K.TAINT_LOST], solved=True)
+        assert classify(report) is ErrorStage.OK
+
+    def test_abort_is_E(self):
+        assert classify(_report(aborted="timeout")) is ErrorStage.E
+        assert classify(_report([K.RESOURCE_EXHAUSTED])) is ErrorStage.E
+        assert classify(_report([K.UNSUPPORTED_SYSCALL])) is ErrorStage.E
+        assert classify(_report([K.ENGINE_CRASH])) is ErrorStage.E
+
+    def test_partial_success_requires_claim(self):
+        assert classify(
+            _report([K.SIMULATED_SYSCALL_VALUE], claimed=True)
+        ) is ErrorStage.P
+        # Without a claim the SIM diag alone is not P.
+        assert classify(_report([K.SIMULATED_SYSCALL_VALUE])) is not ErrorStage.P
+
+    def test_lifting_gaps_dominate(self):
+        report = _report([K.LIFT_UNSUPPORTED, K.TAINT_LOST, K.MEM_ADDR_CONCRETIZED])
+        assert classify(report) is ErrorStage.ES1
+        report = _report([K.LIFT_INCOMPLETE, K.FIXED_WORD_ARGV])
+        assert classify(report) is ErrorStage.ES1
+
+    def test_modeling_gap_is_es3(self):
+        assert classify(_report([K.MEM_ADDR_CONCRETIZED])) is ErrorStage.ES3
+        assert classify(_report([K.SYMBOLIC_JUMP_UNMODELED])) is ErrorStage.ES3
+        assert classify(_report([K.UNSUPPORTED_THEORY])) is ErrorStage.ES3
+        assert classify(_report([K.UNMODELED_MEMORY_REF])) is ErrorStage.ES3
+
+    def test_systematic_concretization_becomes_es2(self):
+        report = _report(counts={K.MEM_ADDR_CONCRETIZED: CONCRETIZATION_THRESHOLD + 1})
+        assert classify(report) is ErrorStage.ES2
+        report = _report(counts={K.MEM_ADDR_CONCRETIZED: 3})
+        assert classify(report) is ErrorStage.ES3
+
+    def test_propagation_is_es2(self):
+        for kind in (K.TAINT_LOST, K.CONCRETIZED_ENV, K.CROSS_THREAD_LOST,
+                     K.CROSS_PROCESS_LOST, K.CONCRETIZED_JUMP):
+            assert classify(_report([kind])) is ErrorStage.ES2, kind
+
+    def test_fixed_word_argv_is_es2(self):
+        assert classify(_report([K.FIXED_WORD_ARGV])) is ErrorStage.ES2
+
+    def test_declaration_is_es0(self):
+        assert classify(_report([K.CONCRETE_LENGTH])) is ErrorStage.ES0
+        assert classify(_report([K.NO_SYMBOLIC_SOURCE])) is ErrorStage.ES0
+        assert classify(_report([])) is ErrorStage.ES0
+
+    def test_claimed_wrong_without_sim_falls_through(self):
+        report = _report([K.CONCRETIZED_ENV], claimed=True)
+        assert classify(report) is ErrorStage.ES2
+
+
+class TestDiagnosticTaxonomy:
+    def test_every_kind_has_a_stage(self):
+        from repro.errors import DIAGNOSTIC_STAGE, DiagnosticKind
+
+        assert set(DIAGNOSTIC_STAGE) == set(DiagnosticKind)
+
+    def test_diagnostic_str(self):
+        d = Diagnostic(K.TAINT_LOST, "detail here", pc=0x1234)
+        assert "taint-lost" in str(d) and "0x1234" in str(d)
+
+    def test_log_accumulates(self):
+        log = DiagnosticLog()
+        log.emit(K.TAINT_LOST, "a")
+        log.emit(K.CONCRETE_LENGTH, "b")
+        assert len(log) == 2
+        assert log.has(K.TAINT_LOST)
+        assert {s.value for s in log.stages()} == {"Es2", "Es0"}

@@ -1,0 +1,160 @@
+"""Tests for the trace-replay concolic engine and its policies."""
+
+import pytest
+
+from repro.bombs import get_bomb
+from repro.concolic import ConcolicEngine, ToolPolicy, TraceReplayer
+from repro.errors import DiagnosticKind
+from repro.lang import compile_single
+from repro.tools.profiles import BAPX, TRITONX
+from repro.trace import record_trace
+
+FULL = ToolPolicy(name="full", supports_fp=True, lifts_stack_memory=True,
+                  signal_trace=True, cross_thread_taint=True, div_guard=True)
+
+
+def _replay(image, argv, policy=FULL, env=None):
+    trace = record_trace(image, argv, env)
+    return TraceReplayer(image, policy).replay(trace), trace
+
+
+class TestReplayFidelity:
+    @pytest.mark.parametrize("bomb_id", [
+        "cp_stack", "sa_l1_array", "pp_pthread", "cp_exception",
+        "fp_float", "ef_sin", "cs_syscall_name", "fig3_printf_on",
+    ])
+    def test_no_divergence_on_bomb_seeds(self, bomb_id):
+        bomb = get_bomb(bomb_id)
+        result, _trace = _replay(
+            bomb.image, [bomb_id.encode()] + bomb.seed_argv,
+            env=bomb.base_env(),
+        )
+        assert result.aborted is None, result.aborted
+
+    def test_constraints_hold_under_seed_model(self):
+        from repro.smt import eval_expr
+
+        bomb = get_bomb("cp_stack")
+        result, _ = _replay(bomb.image, [b"x"] + bomb.seed_argv, env=bomb.base_env())
+        seed_model = {}
+        for name, (k, i) in result.var_layout.items():
+            arg = result.seed_argv[k]
+            seed_model[name] = arg[i] if i < len(arg) else 0
+        for constraint in result.constraints:
+            assert eval_expr(constraint.expr, seed_model) == 1
+
+    def test_var_layout_covers_argv(self):
+        image = compile_single(
+            "int main(int argc, char **argv) { return atoi(argv[1]); }"
+        )
+        result, _ = _replay(image, [b"p", b"123"])
+        assert {"arg1_0", "arg1_1", "arg1_2"} <= set(result.var_layout)
+
+
+class TestPolicyGating:
+    def test_stack_lifting_gap_drops_taint(self):
+        bomb = get_bomb("cp_stack")
+        argv = [b"x"] + bomb.seed_argv
+        full, _ = _replay(bomb.image, argv, FULL)
+        assert not full.diagnostics.has(DiagnosticKind.LIFT_INCOMPLETE)
+        gapped, _ = _replay(bomb.image, argv, BAPX)
+        assert gapped.diagnostics.has(DiagnosticKind.LIFT_INCOMPLETE)
+
+    def test_signal_truncation(self):
+        bomb = get_bomb("cp_exception")
+        argv = [b"x"] + bomb.seed_argv
+        with_signals, _ = _replay(bomb.image, argv, FULL)
+        without, _ = _replay(bomb.image, argv, TRITONX)
+        assert len(without.constraints) < len(with_signals.constraints)
+        assert without.diagnostics.has(DiagnosticKind.LIFT_INCOMPLETE)
+
+    def test_cross_thread_policy(self):
+        bomb = get_bomb("pp_pthread")
+        argv = [b"x"] + bomb.seed_argv
+        shared, _ = _replay(bomb.image, argv, BAPX)
+        assert not shared.diagnostics.has(DiagnosticKind.CROSS_THREAD_LOST)
+        isolated, _ = _replay(bomb.image, argv, TRITONX)
+        assert isolated.diagnostics.has(DiagnosticKind.CROSS_THREAD_LOST)
+
+    def test_fp_gap(self):
+        bomb = get_bomb("fp_float")
+        argv = [b"x"] + bomb.seed_argv
+        gapped, _ = _replay(bomb.image, argv, TRITONX)
+        assert gapped.diagnostics.has(DiagnosticKind.LIFT_UNSUPPORTED)
+        full, _ = _replay(bomb.image, argv, FULL)
+        assert not full.diagnostics.has(DiagnosticKind.LIFT_UNSUPPORTED)
+
+    def test_symbolic_address_diagnostic(self):
+        bomb = get_bomb("sa_l1_array")
+        argv = [b"x"] + bomb.seed_argv
+        result, _ = _replay(bomb.image, argv, TRITONX)
+        assert result.diagnostics.has(DiagnosticKind.MEM_ADDR_CONCRETIZED)
+
+    def test_env_roundtrip_diagnostic(self):
+        bomb = get_bomb("cp_file")
+        argv = [b"x"] + bomb.seed_argv
+        result, _ = _replay(bomb.image, argv, TRITONX)
+        assert result.diagnostics.has(DiagnosticKind.TAINT_LOST)
+
+
+class TestEngineLoop:
+    def test_solves_simple_equality(self):
+        image = compile_single(
+            "int main(int argc, char **argv) {"
+            " if (atoi(argv[1]) * 3 + 1 == 100) { bomb(); } return 0; }"
+        )
+        report = ConcolicEngine(TRITONX).run(image, [b"11"], argv0=b"x")
+        assert report.solved and report.solution == [b"33"]
+
+    def test_solves_nested_branches(self):
+        image = compile_single(r'''
+        int main(int argc, char **argv) {
+            int v = atoi(argv[1]);
+            if (v > 100) {
+                if (v % 7 == 3) {
+                    if (v < 120) { bomb(); }
+                }
+            }
+            return 0;
+        }
+        ''')
+        report = ConcolicEngine(TRITONX).run(image, [b"111"], argv0=b"x")
+        assert report.solved
+        v = int(report.solution[0])
+        assert v > 100 and v % 7 == 3 and v < 120
+
+    def test_respects_round_budget(self):
+        import dataclasses
+
+        image = compile_single(r'''
+        int main(int argc, char **argv) {
+            int v = atoi(argv[1]);
+            int acc = 0;
+            int i = 0;
+            while (i < 8) {
+                if ((v >>> i) & 1) { acc = acc + 1; }
+                i = i + 1;
+            }
+            if (acc == 8) { bomb(); }
+            return 0;
+        }
+        ''')
+        policy = dataclasses.replace(TRITONX, rounds=2, max_queries=4)
+        report = ConcolicEngine(policy).run(image, [b"0"], argv0=b"x")
+        assert report.rounds <= 2 and report.queries <= 4
+
+    def test_no_symbolic_source_diagnostic(self):
+        image = compile_single(
+            "int main(int argc, char **argv) {"
+            " if (time() == 99) { bomb(); } return 0; }"
+        )
+        report = ConcolicEngine(BAPX).run(image, [b"1"], argv0=b"x")
+        assert not report.solved
+        assert report.diagnostics.has(DiagnosticKind.NO_SYMBOLIC_SOURCE)
+
+    def test_seed_itself_triggering(self):
+        image = compile_single(
+            "int main(int argc, char **argv) { bomb(); return 0; }"
+        )
+        report = ConcolicEngine(TRITONX).run(image, [b"1"], argv0=b"x")
+        assert report.solved and report.rounds == 1

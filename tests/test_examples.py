@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The slowest examples (REXX-driven) are exercised through their fast
+paths; `quickstart` and `build_your_own_bomb` run in full.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "ACCESS GRANTED" in result.stdout
+        assert "password" in result.stdout
+
+    def test_build_your_own_bomb(self):
+        result = _run("build_your_own_bomb.py")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "oracle verified" in result.stdout
+        assert "solved=False" in result.stdout  # the combo defeats them
+
+    def test_logic_bomb_audit_subset(self):
+        result = _run("logic_bomb_audit.py", "tritonx", "sv_time", "cp_stack")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Es0" in result.stdout
+        assert "ok" in result.stdout
+
+    def test_deobfuscation(self):
+        result = _run("deobfuscation.py")
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "OPAQUE" in result.stdout
+        assert "real" in result.stdout

@@ -1,0 +1,66 @@
+"""Tests for the extension dataset and the REXX tool surface."""
+
+import pytest
+
+from repro.bombs import all_bombs, get_bomb
+from repro.concolic import ConcolicEngine
+from repro.tools.profiles import TRITONX
+from repro.vm import Environment
+
+EXT_IDS = ("ext_loop", "ext_stdin", "ext_xor_cipher", "ext_two_args", "ext_combo")
+
+
+class TestExtensionBombs:
+    @pytest.mark.parametrize("bomb_id", EXT_IDS)
+    def test_oracles(self, bomb_id):
+        assert get_bomb(bomb_id).verify_oracle()
+
+    def test_not_in_table2(self):
+        table2 = {b.bomb_id for b in all_bombs(table2_only=True)}
+        assert not table2 & set(EXT_IDS)
+
+    def test_loop_trigger_unique(self):
+        bomb = get_bomb("ext_loop")
+        assert bomb.triggers([b"100"])
+        for wrong in (b"99", b"101", b"0", b"200"):
+            assert not bomb.triggers([wrong])
+
+    def test_stdin_is_environmental(self):
+        bomb = get_bomb("ext_stdin")
+        assert bomb.triggers([], Environment(stdin=b"31337"))
+        assert not bomb.triggers([], Environment(stdin=b"31336"))
+        assert not bomb.triggers([b"31337"])  # argv does not help
+
+    def test_xor_cipher_secret(self):
+        bomb = get_bomb("ext_xor_cipher")
+        assert bomb.triggers([b"s3cr3t"])
+        assert not bomb.triggers([b"s3cr3x"])
+        assert not bomb.triggers([b"s3c"])  # too short
+
+    def test_two_args_factorization(self):
+        bomb = get_bomb("ext_two_args")
+        assert bomb.triggers([b"13", b"17"])
+        assert not bomb.triggers([b"17", b"13"])  # a < b required
+        assert not bomb.triggers([b"221", b"1"])
+
+
+class TestExtensionOutcomes:
+    def test_tritonx_solves_two_args(self):
+        bomb = get_bomb("ext_two_args")
+        report = ConcolicEngine(TRITONX).run(
+            bomb.image, bomb.seed_argv, bomb.base_env(), argv0=b"x")
+        assert report.solved
+        a, b = (int(x) for x in report.solution)
+        assert a * b == 221 and a < b
+
+    def test_tritonx_cannot_reach_stdin_trigger(self):
+        bomb = get_bomb("ext_stdin")
+        report = ConcolicEngine(TRITONX).run(
+            bomb.image, bomb.seed_argv, bomb.base_env(), argv0=b"x")
+        assert not report.solved
+
+    def test_loop_defeats_trace_tool_within_budget(self):
+        bomb = get_bomb("ext_loop")
+        report = ConcolicEngine(TRITONX).run(
+            bomb.image, bomb.seed_argv, bomb.base_env(), argv0=b"x")
+        assert not report.solved

@@ -1,0 +1,137 @@
+"""Tests for the lifter: IL coverage and flag-condition semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import apply_binop, flag_condition, il, lift
+from repro.isa import FReg, Imm, Instruction, Mem, Op, OPSPEC, Reg, Target
+from repro.smt import eval_expr, mk_const, mk_var
+from repro.vm import Flags, alu, u64
+from repro.vm.cpu import bits_to_f32, bits_to_f64
+
+
+def _instr(op: Op, addr=0x1000) -> Instruction:
+    operands = []
+    for kind in OPSPEC[op]:
+        operands.append({
+            "R": Reg(2), "F": FReg(1), "I": Imm(7),
+            "M": Mem(3, 16), "J": Target(addr + 64),
+        }[kind])
+    return Instruction(op, tuple(operands), addr)
+
+
+class TestLiftCoverage:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_every_opcode_lifts(self, op):
+        stmts = lift(_instr(op))
+        assert isinstance(stmts, list)
+        if op is not Op.NOP:
+            assert stmts, f"{op.name} lifted to nothing"
+
+    def test_load_shape(self):
+        stmts = lift(_instr(Op.LD4S))
+        assert isinstance(stmts[0], il.Lea)
+        assert isinstance(stmts[1], il.Load)
+        assert stmts[1].width == 4 and stmts[1].signed
+
+    def test_store_shape(self):
+        stmts = lift(_instr(Op.ST2))
+        assert isinstance(stmts[1], il.Store) and stmts[1].width == 2
+
+    def test_division_emits_guard(self):
+        stmts = lift(_instr(Op.SDIV))
+        assert isinstance(stmts[0], il.DivGuard)
+        assert isinstance(stmts[1], il.BinOp) and stmts[1].op == "sdiv"
+
+    def test_branch_carries_cc_and_target(self):
+        stmts = lift(_instr(Op.JLE))
+        (branch,) = stmts
+        assert isinstance(branch, il.CondBranch)
+        assert branch.cc == "jle" and branch.target == 0x1040
+
+    def test_call_records_return_address(self):
+        instr = _instr(Op.CALL)
+        (call,) = lift(instr)
+        assert call.return_addr == instr.next_addr
+
+    def test_fp_ops_isolated_in_fpop_nodes(self):
+        for op in (Op.FADDS, Op.FMULD, Op.CVTIFD, Op.CVTFIS, Op.CVTDS):
+            stmts = lift(_instr(op))
+            assert any(isinstance(s, il.FpOp) for s in stmts), op.name
+
+    def test_stmt_str_forms(self):
+        for op in (Op.MOV, Op.LD, Op.ST, Op.JZ, Op.CALL, Op.PUSH, Op.SYSCALL):
+            for stmt in lift(_instr(op)):
+                assert str(stmt)
+
+
+_CCS = ["jz", "jnz", "jl", "jle", "jg", "jge", "jb", "jbe", "ja", "jae"]
+u64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestFlagConditions:
+    @given(a=u64s, b=u64s, cc=st.sampled_from(_CCS))
+    @settings(max_examples=120, deadline=None)
+    def test_sub_kind_matches_concrete_flags(self, a, b, cc):
+        flags = Flags()
+        alu("sub", a, b, flags)
+        expected = flags.condition(cc)
+        node = flag_condition("sub", mk_const(a, 64), mk_const(b, 64), cc)
+        assert bool(eval_expr(node, {})) == expected
+
+    @given(a=u64s, b=u64s, cc=st.sampled_from(_CCS))
+    @settings(max_examples=80, deadline=None)
+    def test_test_kind_matches_concrete_flags(self, a, b, cc):
+        flags = Flags()
+        flags.set_logic(a & b)
+        expected = flags.condition(cc)
+        node = flag_condition("test", mk_const(a, 64), mk_const(b, 64), cc)
+        assert bool(eval_expr(node, {})) == expected
+
+    @given(r=u64s, cc=st.sampled_from(_CCS))
+    @settings(max_examples=80, deadline=None)
+    def test_logic_kind_matches_concrete_flags(self, r, cc):
+        flags = Flags()
+        flags.set_logic(r)
+        expected = flags.condition(cc)
+        node = flag_condition("logic", mk_const(r, 64), None, cc)
+        assert bool(eval_expr(node, {})) == expected
+
+    @given(a=st.floats(allow_nan=False, allow_infinity=False, width=32),
+           b=st.floats(allow_nan=False, allow_infinity=False, width=32),
+           cc=st.sampled_from(["jz", "jnz", "jb", "jbe", "ja", "jae"]))
+    @settings(max_examples=60, deadline=None)
+    def test_fcmp32_matches_concrete_flags(self, a, b, cc):
+        from repro.vm.cpu import f32_to_bits
+
+        flags = Flags()
+        flags.set_fcmp(a, b)
+        expected = flags.condition(cc)
+        node = flag_condition(
+            "fcmp32",
+            mk_const(f32_to_bits(a), 64), mk_const(f32_to_bits(b), 64), cc,
+        )
+        assert bool(eval_expr(node, {})) == expected
+
+
+class TestApplyBinop:
+    @given(a=st.integers(-(2**40), 2**40),
+           b=st.integers(-(2**20), 2**20).filter(lambda v: v != 0))
+    @settings(max_examples=80, deadline=None)
+    def test_sdiv_srem_match_alu(self, a, b):
+        for op in ("sdiv", "srem"):
+            node = apply_binop(op, mk_var("ab_x", 64), mk_const(u64(b), 64))
+            got = eval_expr(node, {"ab_x": u64(a)})
+            assert got == alu(op, u64(a), u64(b)), (op, a, b)
+
+    def test_symbolic_divisor_raises(self):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            apply_binop("sdiv", mk_var("ab_y", 64), mk_var("ab_z", 64))
+
+    @given(a=u64s, b=u64s)
+    @settings(max_examples=40, deadline=None)
+    def test_plain_ops_delegate(self, a, b):
+        node = apply_binop("xor", mk_const(a, 64), mk_const(b, 64))
+        assert node.value == a ^ b

@@ -1,0 +1,144 @@
+"""Unit tests for the RX64 ISA: encoding, decoding, operand model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import VMError
+from repro.isa import (
+    FLOAT_OPS,
+    LOAD_INFO,
+    OPSPEC,
+    STORE_INFO,
+    FReg,
+    Imm,
+    Instruction,
+    Mem,
+    Op,
+    Reg,
+    Target,
+    decode,
+    encode,
+    gpr_name,
+    instruction_size,
+    parse_fpr,
+    parse_gpr,
+)
+
+
+def _sample_operand(kind: str, addr: int):
+    return {
+        "R": Reg(3),
+        "F": FReg(2),
+        "I": Imm(0x1122334455667788),
+        "M": Mem(5, -72),
+        "J": Target(addr + 100),
+    }[kind]
+
+
+def _sample_instruction(op: Op, addr: int = 0x1000) -> Instruction:
+    operands = tuple(_sample_operand(k, addr) for k in OPSPEC[op])
+    return Instruction(op, operands, addr)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("op", list(Op))
+    def test_roundtrip_every_opcode(self, op):
+        instr = _sample_instruction(op)
+        blob = encode(instr)
+        assert len(blob) == instruction_size(op)
+        back = decode(blob, instr.addr)
+        assert back == instr
+
+    def test_rel32_is_relative_to_instruction_end(self):
+        instr = Instruction(Op.JMP, (Target(0x1000),), addr=0x2000)
+        blob = encode(instr)
+        # Same bytes decoded at a different address yield a shifted target.
+        moved = decode(blob, 0x3000)
+        assert moved.operands[0].addr == 0x1000 + 0x1000
+
+    def test_decode_invalid_opcode(self):
+        with pytest.raises(VMError):
+            decode(b"\xff\x00\x00\x00\x00\x00\x00\x00\x00\x00", 0)
+
+    def test_decode_truncated(self):
+        blob = encode(_sample_instruction(Op.MOVI))
+        with pytest.raises(VMError):
+            decode(blob[:4], 0)
+
+    def test_decode_bad_register(self):
+        blob = bytearray(encode(_sample_instruction(Op.MOV)))
+        blob[1] = 200
+        with pytest.raises(VMError):
+            decode(bytes(blob), 0)
+
+    @given(value=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_imm_roundtrip(self, value):
+        instr = Instruction(Op.MOVI, (Reg(1), Imm(value)), 0)
+        assert decode(encode(instr), 0).operands[1].value == value
+
+    @given(disp=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_mem_disp_roundtrip(self, disp):
+        instr = Instruction(Op.LD, (Reg(1), Mem(2, disp)), 0)
+        assert decode(encode(instr), 0).operands[1].disp == disp
+
+
+class TestOperandModel:
+    def test_imm_signed_view(self):
+        assert Imm(2**64 - 1).signed == -1
+        assert Imm(5).signed == 5
+
+    def test_validate_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, (Reg(1),)).validate()
+
+    def test_validate_rejects_wrong_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, (Reg(1), Imm(3))).validate()
+
+    def test_str_forms(self):
+        instr = Instruction(Op.LD, (Reg(1), Mem(15, -8)), 0)
+        assert str(instr) == "ld r1, [sp-8]"
+        assert str(Instruction(Op.RET, (), 0)) == "ret"
+
+    def test_next_addr(self):
+        instr = _sample_instruction(Op.MOVI, addr=0x40)
+        assert instr.next_addr == 0x40 + 10
+
+
+class TestRegisters:
+    def test_parse_gpr_aliases(self):
+        assert parse_gpr("sp") == 15
+        assert parse_gpr("fp") == 14
+        assert parse_gpr("r0") == 0
+        assert parse_gpr("R12") == 12
+
+    def test_parse_gpr_rejects(self):
+        for bad in ("r16", "x3", "f1", ""):
+            with pytest.raises(ValueError):
+                parse_gpr(bad)
+
+    def test_parse_fpr(self):
+        assert parse_fpr("f7") == 7
+        with pytest.raises(ValueError):
+            parse_fpr("f8")
+
+    def test_gpr_name(self):
+        assert gpr_name(15) == "sp"
+        assert gpr_name(14) == "fp"
+        assert gpr_name(3) == "r3"
+
+
+class TestOpcodeTables:
+    def test_load_store_tables_consistent(self):
+        for op in LOAD_INFO:
+            assert OPSPEC[op] == "RM"
+        for op in STORE_INFO:
+            assert OPSPEC[op] == "MR"
+
+    def test_float_ops_have_fp_operands_or_are_moves(self):
+        for op in FLOAT_OPS:
+            assert "F" in OPSPEC[op] or op in (Op.FMOVR, Op.RMOVF)
+
+    def test_unique_opcodes(self):
+        codes = [int(op) for op in Op]
+        assert len(codes) == len(set(codes))

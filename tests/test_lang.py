@@ -1,0 +1,275 @@
+"""Tests for the BombC compiler: lexer, parser, and compile-and-run
+golden tests covering every language feature the bombs rely on."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import parse, tokenize
+from repro.lang import cast as A
+
+from .helpers import run_bc
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x2A 3.5 1e3 0")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 3.5, 1000.0, 0]
+
+    def test_char_and_string(self):
+        tokens = tokenize("'A' '\\n' \"hi\\x21\"")
+        assert tokens[0].value == 65
+        assert tokens[1].value == 10
+        assert tokens[2].value == b"hi!"
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a >>> b >> c >= d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == [">>>", ">>", ">="]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n/* block\nstill */ b")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"oops')
+
+
+class TestParser:
+    def test_function_shape(self):
+        unit = parse("int f(int a, char *b) { return a; }")
+        (fn,) = unit.functions
+        assert fn.name == "f"
+        assert fn.params[0].type == A.INT
+        assert fn.params[1].type == A.CType("char", 1)
+
+    def test_globals(self):
+        unit = parse('int g = 5; int tab[3] = {1, 2, 3}; char *s = "x";')
+        assert [g.name for g in unit.globals] == ["g", "tab", "s"]
+        assert unit.globals[1].type.array == 3
+
+    def test_precedence(self):
+        unit = parse("int f() { return 1 + 2 * 3 == 7 && 1 < 2; }")
+        expr = unit.functions[0].body[0].value
+        assert isinstance(expr, A.Binary) and expr.op == "&&"
+
+    def test_else_if_chain(self):
+        unit = parse("int f(int x) { if (x) { return 1; } else if (x > 2) { return 2; } else { return 3; } }")
+        stmt = unit.functions[0].body[0]
+        assert isinstance(stmt.orelse[0], A.If)
+
+    def test_lvalue_check(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            parse("int f() { 1 + 2 = 3; return 0; }")
+
+    def test_pointer_depth(self):
+        unit = parse("int main(int argc, char **argv) { return 0; }")
+        assert unit.functions[0].params[1].type.ptr == 2
+
+
+class TestCodegenGolden:
+    """Compile-and-run with expected stdout/exit codes."""
+
+    def _expect(self, body, stdout=None, exit_code=None, argv=None):
+        result = run_bc(body, argv=argv or [b"t"])
+        if stdout is not None:
+            assert result.stdout == stdout, result.stdout
+        if exit_code is not None:
+            assert result.exit_code == exit_code
+
+    def test_arithmetic_precedence(self):
+        self._expect("int main(int argc, char **argv) { return 2 + 3 * 4; }",
+                     exit_code=14)
+
+    def test_division_and_modulo(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " print_int(-17 / 5); print_str(\" \"); print_int(-17 % 5);"
+            " return 0; }",
+            stdout=b"-3 -2",
+        )
+
+    def test_shifts(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " print_int(1 << 10); print_str(\" \");"
+            " print_int(-8 >> 1); print_str(\" \");"
+            " print_int((15 >>> 2)); return 0; }",
+            stdout=b"1024 -4 3",
+        )
+
+    def test_bitwise(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " print_int((12 & 10) | (1 ^ 3)); print_int(~0 & 255); return 0; }",
+            stdout=b"10255",
+        )
+
+    def test_short_circuit(self):
+        self._expect(r'''
+            int calls = 0;
+            int bump() { calls = calls + 1; return 1; }
+            int main(int argc, char **argv) {
+                int a = 0 && bump();
+                int b = 1 || bump();
+                print_int(calls);
+                print_int(a + b);
+                return 0;
+            }
+        ''', stdout=b"01")
+
+    def test_compound_assignment(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " int x = 10; x += 5; x *= 2; x -= 6; x /= 4; x <<= 2;"
+            " return x; }",
+            exit_code=24,
+        )
+
+    def test_while_break_continue(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                int total = 0;
+                int i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 10) { break; }
+                    if (i % 2) { continue; }
+                    total = total + i;
+                }
+                return total;   // 2+4+6+8+10
+            }
+        ''', exit_code=30)
+
+    def test_for_loop(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                int total = 0;
+                for (int i = 1; i <= 5; i += 1) { total = total + i; }
+                return total;
+            }
+        ''', exit_code=15)
+
+    def test_arrays_and_pointers(self):
+        self._expect(r'''
+            int tab[4] = {10, 20, 30, 40};
+            int main(int argc, char **argv) {
+                int *p = &tab[1];
+                *p = 99;
+                print_int(tab[1]);
+                print_int(*(p + 2));
+                print_int((int)(&tab[3] - &tab[0]));
+                return 0;
+            }
+        ''', stdout=b"99403")
+
+    def test_local_array(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                char buf[8];
+                int i = 0;
+                while (i < 5) { buf[i] = 'a' + i; i = i + 1; }
+                buf[5] = 0;
+                print_str(buf);
+                return 0;
+            }
+        ''', stdout=b"abcde")
+
+    def test_char_semantics(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                char c = 200;       // stored as a byte, loaded unsigned
+                print_int(c);
+                return 0;
+            }
+        ''', stdout=b"200")
+
+    def test_float_double(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                double d = 2.5 * 4.0;
+                float f = 0.5;
+                print_int((int)(d + (double)f));
+                print_int((int)(d / 2.0));
+                return 0;
+            }
+        ''', stdout=b"105")
+
+    def test_float_compare(self):
+        self._expect(r'''
+            int main(int argc, char **argv) {
+                double a = 1.5;
+                if (a > 1.0 && a <= 1.5 && a != 2.0) { print_str("yes"); }
+                return 0;
+            }
+        ''', stdout=b"yes")
+
+    def test_negative_float(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " double x = -2.5; return (int)(x * -2.0); }",
+            exit_code=5,
+        )
+
+    def test_recursion(self):
+        self._expect(r'''
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main(int argc, char **argv) { return fib(10); }
+        ''', exit_code=55)
+
+    def test_function_pointer_via_int(self):
+        self._expect(r'''
+            int add3(int x) { return x + 3; }
+            int main(int argc, char **argv) {
+                int fp = add3;          // functions decay to addresses
+                return __syscall(0, fp != 0);
+            }
+        ''', exit_code=1)
+
+    def test_global_init_forms(self):
+        self._expect(r'''
+            int a = -7;
+            char c = 'Z';
+            double d = 1.5;
+            char *s = "str";
+            int main(int argc, char **argv) {
+                print_int(a);
+                putchar(c);
+                print_int((int)(d * 2.0));
+                print_str(s);
+                return 0;
+            }
+        ''', stdout=b"-7Z3str")
+
+    def test_stack_builtins(self):
+        self._expect(
+            "int main(int argc, char **argv) {"
+            " __stackpush(41); return __stackpop() + 1; }",
+            exit_code=42,
+        )
+
+
+class TestCodegenErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined"):
+            run_bc("int main(int argc, char **argv) { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            run_bc("int main(int argc, char **argv) { return nada(); }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError, match="duplicate local"):
+            run_bc("int main(int argc, char **argv) { int x = 1; int x = 2; return x; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="expects"):
+            run_bc("int f(int a) { return a; } int main(int argc, char **argv) { return f(1, 2); }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError):
+            run_bc("int main(int argc, char **argv) { double d = 1.5 % 2.0; return 0; }")

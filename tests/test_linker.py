@@ -1,0 +1,174 @@
+"""Tests for the linker and the REXF image format."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.binfmt import FLAG_L, FLAG_W, FLAG_X, Image, link
+from repro.errors import LinkError
+from repro.vm import Machine
+
+
+def _simple_module(name="m", entry_label="_start"):
+    return assemble(f"""
+    .text
+    .global {entry_label}
+    {entry_label}:
+        movi r1, 7
+        movi r0, 0
+        syscall
+        hlt
+    .data
+    value: .quad 99
+    """, name)
+
+
+class TestLayout:
+    def test_sections_page_aligned_and_ordered(self):
+        image = link([_simple_module()])
+        addrs = [sec.vaddr for sec in image.sections]
+        assert addrs == sorted(addrs)
+        assert all(addr % 0x1000 == 0 for addr in addrs)
+        assert image.section(".text").vaddr == 0x1000
+
+    def test_flags(self):
+        src = ".text\nf: ret\n.lib\ng: ret\n.data\nd: .quad 1\n.bss\nb: .space 8\n"
+        module = assemble(src)
+        module.symbols["_start"] = (".text", 0)
+        image = link([module])
+        assert image.section(".text").flags == FLAG_X
+        assert image.section(".lib").flags == FLAG_X | FLAG_L
+        assert image.section(".data").flags == FLAG_W
+
+    def test_bss_has_mem_size_but_no_data(self):
+        module = assemble(".text\n_start: ret\n.bss\nbuf: .space 128\n")
+        image = link([module])
+        bss = image.section(".bss")
+        assert bss.mem_size >= 128 and len(bss.data) == 0
+
+
+class TestSymbols:
+    def test_cross_module_call(self):
+        a = assemble("""
+        .text
+        .global _start
+        _start:
+            call helper
+            mov r1, r0
+            movi r0, 0
+            syscall
+            hlt
+        """, "a")
+        b = assemble(".text\n.global helper\nhelper:\n    movi r0, 33\n    ret\n", "b")
+        image = link([a, b])
+        assert Machine(image, [b"t"]).run().exit_code == 33
+
+    def test_local_labels_are_module_scoped(self):
+        a = assemble(".text\n_start:\n.Lx: jmp .Lx\n", "a")
+        b = assemble(".text\nother:\n.Lx: jmp .Lx\n", "b")
+        image = link([a, b])  # no duplicate-symbol error
+        assert ".Lx" not in image.symbols
+
+    def test_duplicate_symbol_rejected(self):
+        a = assemble(".text\nfoo: ret\n_start: ret\n", "a")
+        b = assemble(".text\nfoo: ret\n", "b")
+        with pytest.raises(LinkError, match="duplicate symbol"):
+            link([a, b])
+
+    def test_undefined_symbol_rejected(self):
+        module = assemble(".text\n_start: call missing\n")
+        with pytest.raises(LinkError, match="undefined symbol"):
+            link([module])
+
+    def test_missing_entry_rejected(self):
+        module = assemble(".text\nfoo: ret\n")
+        with pytest.raises(LinkError, match="entry symbol"):
+            link([module])
+
+    def test_symbol_kinds(self):
+        prog = assemble(".text\n_start: ret\n.data\ng: .quad 1\n", "prog")
+        lib = assemble(".lib\nhelper: ret\n.data\nlibstate: .quad 0\n", "lib")
+        image = link([prog, lib])
+        assert image.symbols["_start"].kind == "func"
+        assert image.symbols["g"].kind == "object"
+        assert image.symbols["helper"].kind == "lib"
+        assert image.symbols["libstate"].kind == "lib_object"
+
+    def test_lib_object_ranges_cover_lib_state(self):
+        prog = assemble(".text\n_start: ret\n.data\ng: .quad 1\n", "prog")
+        lib = assemble(".lib\nhelper: ret\n.data\nlibstate: .quad 0\n", "lib")
+        image = link([prog, lib])
+        ranges = image.lib_object_ranges()
+        addr = image.symbols["libstate"].addr
+        assert any(lo <= addr < hi for lo, hi in ranges)
+        g_addr = image.symbols["g"].addr
+        assert not any(lo <= g_addr < hi for lo, hi in ranges)
+
+
+class TestRelocations:
+    def test_abs64_in_data(self):
+        module = assemble("""
+        .text
+        .global _start
+        _start:
+            movi r2, ptr
+            ld r3, [r2]     ; r3 = &target
+            callr r3
+            mov r1, r0
+            movi r0, 0
+            syscall
+            hlt
+        target:
+            movi r0, 88
+            ret
+        .data
+        ptr: .quad target
+        """)
+        image = link([module])
+        assert Machine(image, [b"t"]).run().exit_code == 88
+
+    def test_movi_symbol_addend(self):
+        module = assemble("""
+        .text
+        .global _start
+        _start:
+            movi r2, tab+8
+            ld r1, [r2]
+            movi r0, 0
+            syscall
+            hlt
+        .data
+        tab: .quad 11, 22
+        """)
+        image = link([module])
+        assert Machine(image, [b"t"]).run().exit_code == 22
+
+
+class TestImageFormat:
+    def test_serialization_roundtrip(self):
+        image = link([_simple_module()])
+        blob = image.to_bytes()
+        back = Image.from_bytes(blob)
+        assert back.entry == image.entry
+        assert {s.name for s in back.sections} == {s.name for s in image.sections}
+        assert back.symbols.keys() == image.symbols.keys()
+        for name, sym in image.symbols.items():
+            assert back.symbols[name].addr == sym.addr
+            assert back.symbols[name].kind == sym.kind
+        # Running the deserialized image behaves identically.
+        assert Machine(back, [b"t"]).run().exit_code == \
+            Machine(image, [b"t"]).run().exit_code
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LinkError, match="not a REXF"):
+            Image.from_bytes(b"ELF\x7f" + b"\0" * 64)
+
+    def test_file_size_nonzero(self):
+        image = link([_simple_module()])
+        assert image.file_size == len(image.to_bytes()) > 50
+
+    def test_code_queries(self):
+        image = link([_simple_module()])
+        text = image.section(".text")
+        assert image.is_code_addr(text.vaddr)
+        assert not image.is_code_addr(image.section(".data").vaddr)
+        assert not image.is_lib_addr(text.vaddr)

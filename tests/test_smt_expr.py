@@ -1,0 +1,206 @@
+"""Tests for the expression AST: folding, rewrites, evaluation."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SolverError
+from repro.smt import (
+    FALSE,
+    TRUE,
+    eval_expr,
+    mk_binop,
+    mk_bool_and,
+    mk_bool_not,
+    mk_bool_or,
+    mk_cmp,
+    mk_concat,
+    mk_concat_many,
+    mk_const,
+    mk_eq,
+    mk_extract,
+    mk_fp,
+    mk_ite,
+    mk_neg,
+    mk_sext,
+    mk_var,
+    mk_zext,
+    to_signed,
+)
+from repro.vm.cpu import alu, u64
+
+u64s = st.integers(min_value=0, max_value=2**64 - 1)
+_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]
+
+
+class TestInterning:
+    def test_structural_identity(self):
+        assert mk_var("q", 8) is mk_var("q", 8)
+        assert mk_const(5, 32) is mk_const(5, 32)
+        a = mk_binop("add", mk_var("q", 8), mk_const(1, 8))
+        b = mk_binop("add", mk_var("q", 8), mk_const(1, 8))
+        assert a is b
+
+    def test_width_distinguishes(self):
+        assert mk_var("q", 8) is not mk_var("q", 16)
+
+
+class TestFolding:
+    @given(a=u64s, b=u64s, op=st.sampled_from(_OPS))
+    def test_const_fold_matches_alu(self, a, b, op):
+        alu_name = {"lshr": "shr", "ashr": "sar"}.get(op, op)
+        node = mk_binop(op, mk_const(a, 64), mk_const(b, 64))
+        assert node.is_const
+        assert node.value == alu(alu_name, a, b)
+
+    def test_identity_rewrites(self):
+        x = mk_var("x_id", 64)
+        zero, ones = mk_const(0, 64), mk_const(2**64 - 1, 64)
+        assert mk_binop("add", x, zero) is x
+        assert mk_binop("xor", x, zero) is x
+        assert mk_binop("and", x, ones) is x
+        assert mk_binop("mul", x, mk_const(1, 64)) is x
+        assert mk_binop("and", x, zero).value == 0
+        assert mk_binop("xor", x, x).value == 0
+        assert mk_binop("sub", x, x).value == 0
+
+    def test_cmp_folding(self):
+        assert mk_cmp("ult", mk_const(1, 8), mk_const(2, 8)) is TRUE
+        assert mk_cmp("slt", mk_const(0xFF, 8), mk_const(0, 8)) is TRUE  # -1 < 0
+        x = mk_var("x_cf", 8)
+        assert mk_eq(x, x) is TRUE
+        assert mk_cmp("ult", x, x) is FALSE
+
+    def test_ite_folding(self):
+        x, y = mk_var("x_if", 8), mk_var("y_if", 8)
+        assert mk_ite(TRUE, x, y) is x
+        assert mk_ite(FALSE, x, y) is y
+        cond = mk_eq(x, y)
+        assert mk_ite(cond, x, x) is x
+
+    def test_bool_connectives(self):
+        p = mk_eq(mk_var("p_b", 8), mk_const(1, 8))
+        assert mk_bool_and(p, TRUE) is p
+        assert mk_bool_and(p, FALSE) is FALSE
+        assert mk_bool_or(p, FALSE) is p
+        assert mk_bool_or(p, TRUE) is TRUE
+        assert mk_bool_not(mk_bool_not(p)) is p
+
+
+class TestBitPlumbing:
+    def test_extract_of_const(self):
+        assert mk_extract(mk_const(0xABCD, 16), 15, 8).value == 0xAB
+
+    def test_extract_full_width_is_identity(self):
+        x = mk_var("x_e", 16)
+        assert mk_extract(x, 15, 0) is x
+
+    def test_extract_of_extract_fuses(self):
+        x = mk_var("x_ee", 32)
+        inner = mk_extract(x, 23, 8)
+        outer = mk_extract(inner, 11, 4)
+        assert outer.op == "extract"
+        assert outer.args[0] is x
+        assert (outer.value >> 16, outer.value & 0xFFFF) == (19, 12)
+
+    def test_concat_of_adjacent_extracts_fuses(self):
+        x = mk_var("x_cf2", 64)
+        parts = [mk_extract(x, 8 * i + 7, 8 * i) for i in range(8)]
+        back = mk_concat_many(list(reversed(parts)))
+        assert back is x  # the store/load round trip collapses
+
+    def test_concat_const(self):
+        assert mk_concat(mk_const(0xAB, 8), mk_const(0xCD, 8)).value == 0xABCD
+
+    def test_zext_sext(self):
+        assert mk_zext(mk_const(0xFF, 8), 16).value == 0xFF
+        assert mk_sext(mk_const(0xFF, 8), 16).value == 0xFFFF
+        x = mk_var("x_z", 8)
+        assert mk_zext(x, 8) is x
+        with pytest.raises(SolverError):
+            mk_zext(mk_var("x_z2", 16), 8)
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(SolverError):
+            mk_extract(mk_var("x_eb", 8), 8, 0)
+
+
+class TestEval:
+    @given(a=u64s, b=u64s, op=st.sampled_from(_OPS))
+    def test_eval_matches_fold(self, a, b, op):
+        x, y = mk_var("ea", 64), mk_var("eb", 64)
+        node = mk_binop(op, x, y)
+        folded = mk_binop(op, mk_const(a, 64), mk_const(b, 64))
+        assert eval_expr(node, {"ea": a, "eb": b}) == folded.value
+
+    def test_eval_missing_vars_default_zero(self):
+        assert eval_expr(mk_var("nope", 32), {}) == 0
+
+    def test_eval_deep_chain_no_recursion_error(self):
+        node = mk_var("deep", 64)
+        one = mk_const(1, 64)
+        for _ in range(50_000):
+            node = mk_binop("add", node, one)
+        assert eval_expr(node, {"deep": 5}) == 50_005
+
+    @given(v=u64s)
+    def test_eval_ite(self, v):
+        x = mk_var("ei", 64)
+        node = mk_ite(mk_cmp("ult", x, mk_const(100, 64)),
+                      mk_const(1, 64), mk_const(2, 64))
+        assert eval_expr(node, {"ei": v}) == (1 if v < 100 else 2)
+
+    def test_eval_sext(self):
+        node = mk_sext(mk_var("es", 8), 64)
+        assert eval_expr(node, {"es": 0x80}) == u64(-128)
+
+
+class TestFpNodes:
+    def test_fp_const_fold(self):
+        a = struct.unpack("<I", struct.pack("<f", 1.5))[0]
+        b = struct.unpack("<I", struct.pack("<f", 2.25))[0]
+        node = mk_fp("fadd32", mk_const(a, 32), mk_const(b, 32))
+        assert node.is_const
+        assert struct.unpack("<f", struct.pack("<I", node.value))[0] == 3.75
+
+    def test_fp_detection(self):
+        x = mk_var("fx", 32)
+        node = mk_fp("flt32", x, mk_const(0, 32))
+        assert node.contains_fp()
+        assert not mk_binop("add", mk_var("ix", 64), mk_const(1, 64)).contains_fp()
+
+    def test_transcendental_eval(self):
+        bits = struct.unpack("<Q", struct.pack("<d", 1.5))[0]
+        node = mk_fp("fsin64", mk_var("tv", 64))
+        got = eval_expr(node, {"tv": bits})
+        value = struct.unpack("<d", struct.pack("<Q", got))[0]
+        assert abs(value - math.sin(1.5)) < 1e-12
+
+    def test_fpow(self):
+        three = struct.unpack("<Q", struct.pack("<d", 3.0))[0]
+        two = struct.unpack("<Q", struct.pack("<d", 2.0))[0]
+        node = mk_fp("fpow64", mk_const(three, 64), mk_const(two, 64))
+        assert struct.unpack("<d", struct.pack("<Q", node.value))[0] == 9.0
+
+
+class TestMisc:
+    def test_variables(self):
+        node = mk_binop("add", mk_var("aa", 64),
+                        mk_binop("mul", mk_var("bb", 64), mk_const(3, 64)))
+        assert node.variables() == {"aa", "bb"}
+
+    def test_size_memoized_and_counts_dag_nodes(self):
+        x = mk_var("sz", 64)
+        shared = mk_binop("add", x, mk_const(1, 64))
+        node = mk_binop("mul", shared, shared)
+        assert node.size() == 4  # x, 1, add, mul
+        assert node.size() == 4
+
+    def test_neg(self):
+        assert eval_expr(mk_neg(mk_var("ng", 64)), {"ng": 5}) == u64(-5)
+
+    @given(v=u64s, w=st.sampled_from([1, 8, 16, 32, 64]))
+    def test_to_signed_roundtrip(self, v, w):
+        assert to_signed(v, w) & ((1 << w) - 1) == v & ((1 << w) - 1)

@@ -1,0 +1,144 @@
+"""Tests for the CDCL SAT core."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.smt import SatSolver
+
+
+def _lit(var: int, positive: bool) -> int:
+    return var * 2 + (0 if positive else 1)
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([_lit(a, True)])
+        model = solver.solve()
+        assert model is not None and model[a] == 1
+
+    def test_trivial_unsat(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([_lit(a, True)])
+        solver.add_clause([_lit(a, False)])
+        assert solver.solve() is None
+
+    def test_implication_chain(self):
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(20)]
+        solver.add_clause([_lit(variables[0], True)])
+        for a, b in zip(variables, variables[1:]):
+            solver.add_clause([_lit(a, False), _lit(b, True)])  # a -> b
+        model = solver.solve()
+        assert all(model[v] == 1 for v in variables)
+
+    def test_tautology_ignored(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([_lit(a, True), _lit(a, False)])
+        assert solver.solve() is not None
+
+    def test_duplicate_literals_deduped(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([_lit(a, True), _lit(a, True), _lit(b, False)])
+        assert solver.solve() is not None
+
+    def test_empty_clause_unsat(self):
+        solver = SatSolver()
+        solver.new_var()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3])
+    def test_php_unsat(self, holes):
+        """n+1 pigeons in n holes: classically UNSAT."""
+        pigeons = holes + 1
+        solver = SatSolver()
+        var = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        for p in range(pigeons):
+            solver.add_clause([_lit(var[p][h], True) for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                solver.add_clause([_lit(var[p1][h], False), _lit(var[p2][h], False)])
+        assert solver.solve() is None
+
+
+class TestRandom3Sat:
+    def test_models_satisfy_formulas(self):
+        rng = random.Random(42)
+        for _ in range(30):
+            n_vars, n_clauses = 12, 30
+            solver = SatSolver()
+            variables = [solver.new_var() for _ in range(n_vars)]
+            clauses = []
+            for _ in range(n_clauses):
+                chosen = rng.sample(variables, 3)
+                clause = [_lit(v, rng.random() < 0.5) for v in chosen]
+                clauses.append(clause)
+                solver.add_clause(list(clause))
+            model = solver.solve()
+            if model is None:
+                # Verify UNSAT by brute force (12 vars is cheap).
+                for bits in range(1 << n_vars):
+                    assignment = [(bits >> i) & 1 for i in range(n_vars)]
+                    if all(
+                        any(assignment[l >> 1] == (1 - (l & 1)) for l in clause)
+                        for clause in clauses
+                    ):
+                        pytest.fail("solver said UNSAT but a model exists")
+            else:
+                for clause in clauses:
+                    assert any(model[l >> 1] == 1 - (l & 1) for l in clause)
+
+
+class TestIncremental:
+    def test_blocking_clause_enumeration(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([_lit(a, True), _lit(b, True)])
+        seen = set()
+        while True:
+            model = solver.solve()
+            if model is None:
+                break
+            seen.add((model[a], model[b]))
+            solver.add_clause([
+                _lit(a, model[a] == 0), _lit(b, model[b] == 0)
+            ])
+        assert seen == {(0, 1), (1, 0), (1, 1)}
+
+    def test_conflict_budget(self):
+        rng = random.Random(3)
+        solver = SatSolver(max_conflicts=1)
+        variables = [solver.new_var() for _ in range(40)]
+        for _ in range(180):
+            chosen = rng.sample(variables, 3)
+            solver.add_clause([_lit(v, rng.random() < 0.5) for v in chosen])
+        with pytest.raises(SolverError):
+            for _ in range(200):
+                if solver.solve() is None:
+                    break
+                # keep blocking models until the budget trips or UNSAT
+                model = solver.solve()
+                solver.add_clause([
+                    _lit(v, model[v] == 0) for v in variables[:20]
+                ])
+
+    def test_clause_budget(self):
+        solver = SatSolver(max_clauses=3)
+        a = solver.new_var()
+        b = solver.new_var()
+        solver.add_clause([_lit(a, True), _lit(b, True)])
+        solver.add_clause([_lit(a, False), _lit(b, True)])
+        solver.add_clause([_lit(a, True), _lit(b, False)])
+        with pytest.raises(SolverError):
+            solver.add_clause([_lit(a, False), _lit(b, False)])

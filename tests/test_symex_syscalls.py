@@ -1,0 +1,173 @@
+"""Unit tests for the static engine's syscall model and simprocedures."""
+
+import pytest
+
+from repro.errors import DiagnosticKind
+from repro.lang import compile_single
+from repro.symex import AngrEngine, SymexPolicy
+from repro.vm import Machine
+
+
+def _explore(src, seed=(b"1",), **policy_kw):
+    defaults = dict(name="t", with_libs=True, max_states=256,
+                    max_total_steps=60_000, max_queries=300, time_limit=50.0)
+    defaults.update(policy_kw)
+    image = compile_single(src)
+    engine = AngrEngine(image, SymexPolicy(**defaults))
+    report = engine.explore(list(seed), argv0=b"x")
+    return image, engine, report
+
+
+def _validated(image, report, env=None):
+    for claim in report.claimed_inputs:
+        if Machine(image, [b"x"] + claim, env).run().bomb_triggered:
+            return claim
+    return None
+
+
+class TestPipeModel:
+    def test_pipe_preserves_symbolic_data(self):
+        image, _, report = _explore(r'''
+        int main(int argc, char **argv) {
+            int fds[2];
+            pipe(fds);
+            write_u64(fds[1], atoi(argv[1]) * 2);
+            int w = read_u64(fds[0]);
+            if (w == 86) { bomb(); }
+            return 0;
+        }
+        ''', seed=(b"11",))
+        claim = _validated(image, report)
+        assert claim is not None
+        assert int(claim[0]) == 43  # leading zeros allowed
+
+    def test_empty_pipe_reads_zero_bytes(self):
+        image, _, report = _explore(r'''
+        int main(int argc, char **argv) {
+            int fds[2];
+            pipe(fds);
+            char b[4];
+            if (read(fds[0], b, 4) == 0) { bomb(); }
+            return 0;
+        }
+        ''')
+        assert report.goal_claimed
+
+
+class TestFileModel:
+    def test_files_concretize_symbolic_writes(self):
+        _, engine, report = _explore(r'''
+        int main(int argc, char **argv) {
+            int fd = open("x.dat", 0x42);
+            write_u64(fd, atoi(argv[1]) + 1);
+            close(fd);
+            fd = open("x.dat", 0);
+            int w = read_u64(fd);
+            if (w == 58) { bomb(); }
+            return 0;
+        }
+        ''', seed=(b"11",))
+        assert engine.diags.has(DiagnosticKind.CONCRETIZED_ENV)
+        assert not report.goal_claimed  # 12 (the seed's value+1) != 58
+
+    def test_missing_file_open_fails(self):
+        _, _, report = _explore(r'''
+        int main(int argc, char **argv) {
+            if (open("/no/such", 0) < 0) { bomb(); }
+            return 0;
+        }
+        ''')
+        assert report.goal_claimed
+
+
+class TestSimulatedReturns:
+    def test_getpid_flagged(self):
+        _, engine, report = _explore(
+            "int main(int argc, char **argv) {"
+            " if (getpid() == 5) { bomb(); } return 0; }"
+        )
+        assert report.goal_claimed  # claims, but the value is invented
+        assert engine.diags.has(DiagnosticKind.SIMULATED_SYSCALL_VALUE)
+
+    def test_time_is_concrete(self):
+        _, engine, report = _explore(
+            "int main(int argc, char **argv) {"
+            " if (time() == 5) { bomb(); } return 0; }"
+        )
+        assert not report.goal_claimed
+        assert not engine.diags.has(DiagnosticKind.SIMULATED_SYSCALL_VALUE)
+
+    def test_fork_unsupported_at_syscall_level(self):
+        _, engine, report = _explore(
+            "int main(int argc, char **argv) {"
+            " if (fork() == 0) { bomb(); } return 0; }"
+        )
+        assert not report.goal_claimed  # with-libs: fork returns -1
+        assert engine.diags.has(DiagnosticKind.CROSS_PROCESS_LOST)
+
+    def test_nolib_fork_follows_child(self):
+        image, _, report = _explore(
+            "int main(int argc, char **argv) {"
+            " if (fork() == 0) { bomb(); } return 0; }",
+            with_libs=False,
+        )
+        assert _validated(image, report) is not None
+
+
+class TestAborts:
+    @pytest.mark.parametrize("src,expected", [
+        ("int main(int argc, char **argv) { signal(8, 0); return 0; }",
+         DiagnosticKind.UNSUPPORTED_SYSCALL),
+        ("int main(int argc, char **argv) { char *p = malloc(8); return 0; }",
+         DiagnosticKind.UNSUPPORTED_SYSCALL),  # brk
+    ])
+    def test_unmodeled_syscalls_abort(self, src, expected):
+        _, engine, report = _explore(src)
+        assert report.aborted is not None
+        assert engine.diags.has(expected)
+
+    def test_nolib_malloc_is_hooked(self):
+        image, _, report = _explore(r'''
+        int main(int argc, char **argv) {
+            char *p = malloc(16);
+            p[0] = 'A';
+            if (p[0] == 'A') { bomb(); }
+            return 0;
+        }
+        ''', with_libs=False)
+        assert _validated(image, report) is not None
+
+
+class TestThreadModel:
+    def test_thread_body_never_runs(self):
+        _, engine, report = _explore(r'''
+        int g = 5;
+        int w(int *p) { *p = 6; return 0; }
+        int main(int argc, char **argv) {
+            int t = pthread_create(w, (int)&g);
+            pthread_join(t);
+            if (g == 6) { bomb(); }
+            return 0;
+        }
+        ''')
+        assert not report.goal_claimed  # g stays 5 in the engine's model
+        assert engine.diags.has(DiagnosticKind.CROSS_THREAD_LOST)
+
+    def test_rexx_inlines_thread(self):
+        from repro.tools.rexx import REXX
+        import dataclasses
+
+        image = compile_single(r'''
+        int g = 5;
+        int w(int *p) { *p = 6; return 0; }
+        int main(int argc, char **argv) {
+            int t = pthread_create(w, (int)&g);
+            pthread_join(t);
+            if (g == 6) { bomb(); }
+            return 0;
+        }
+        ''')
+        policy = dataclasses.replace(REXX, time_limit=60.0)
+        engine = AngrEngine(image, policy)
+        report = engine.explore([b"1"], argv0=b"x")
+        assert _validated(image, report) is not None

@@ -1,0 +1,115 @@
+"""Tests for the tracer (the Pin role) and taint accounting."""
+
+from repro.bombs import get_bomb
+from repro.lang import compile_single
+from repro.trace import SignalEvent, StepEvent, SyscallEvent, record_trace, taint_summary
+from repro.vm import Environment
+from repro.vm.syscalls import Sys
+
+
+def _image(src):
+    return compile_single(src)
+
+
+class TestRecording:
+    def test_step_events_in_order(self):
+        image = _image("int main(int argc, char **argv) { return 3; }")
+        trace = record_trace(image, [b"t"])
+        steps = list(trace.steps())
+        assert steps, "no instructions recorded"
+        assert steps[0].instr.addr == image.entry
+        assert trace.exit_code == 3
+        assert trace.instruction_count == len(steps)
+
+    def test_syscall_events_capture_reads(self):
+        image = _image(r'''
+        int main(int argc, char **argv) {
+            int fd = open("f", 0x42);
+            write(fd, "xyz", 3);
+            close(fd);
+            fd = open("f", 0);
+            char b[4];
+            read(fd, b, 3);
+            return b[0];
+        }
+        ''')
+        trace = record_trace(image, [b"t"])
+        reads = [e for e in trace.events
+                 if isinstance(e, SyscallEvent) and e.nr == Sys.READ]
+        assert reads and reads[0].writes[0][1] == b"xyz"
+        assert trace.exit_code == ord("x")
+
+    def test_child_process_not_traced(self):
+        image = _image(r'''
+        int main(int argc, char **argv) {
+            int pid = fork();
+            if (pid == 0) {
+                int i = 0;
+                while (i < 100) { i = i + 1; }
+                exit(0);
+            }
+            waitpid(pid, 0);
+            return 0;
+        }
+        ''')
+        trace = record_trace(image, [b"t"])
+        assert trace.forked
+        pids = {e.pid for e in trace.events}
+        assert len(pids) == 1  # only the root process
+
+    def test_signal_event_recorded(self):
+        image = _image(r'''
+        int h(int s) { return 0; }
+        int main(int argc, char **argv) {
+            signal(8, h);
+            return 1 / 0;
+        }
+        ''')
+        trace = record_trace(image, [b"t"])
+        signals = [e for e in trace.events if isinstance(e, SignalEvent)]
+        assert len(signals) == 1
+        assert signals[0].signo == 8
+
+    def test_argv_regions(self):
+        image = _image("int main(int argc, char **argv) { return 0; }")
+        trace = record_trace(image, [b"prog", b"hello"])
+        assert trace.argv_regions[1][1] == 5
+
+    def test_bomb_flag(self):
+        bomb = get_bomb("cp_stack")
+        trace = record_trace(bomb.image, [b"x", b"49"], bomb.base_env())
+        assert trace.bomb_triggered
+
+    def test_event_budget(self):
+        image = _image(
+            "int main(int argc, char **argv) {"
+            " int i = 0; while (i < 100000) { i = i + 1; } return 0; }"
+        )
+        trace = record_trace(image, [b"t"], max_events=500)
+        assert len(trace.events) == 500
+
+
+class TestTaintSummary:
+    def test_untainted_program(self):
+        image = _image("int main(int argc, char **argv) { return 42; }")
+        summary = taint_summary(image, [b"t"])
+        assert summary.tainted_instructions == 0
+        assert summary.symbolic_branches == 0
+
+    def test_tainted_fraction(self):
+        image = _image(
+            "int main(int argc, char **argv) {"
+            " if (atoi(argv[1]) == 5) { return 1; } return 0; }"
+        )
+        summary = taint_summary(image, [b"t", b"3"])
+        assert 0 < summary.tainted_instructions < summary.total_instructions
+        assert summary.symbolic_branches >= 1
+        assert 0 < summary.tainted_fraction < 1
+
+    def test_figure3_shape(self):
+        on = get_bomb("fig3_printf_on")
+        off = get_bomb("fig3_printf_off")
+        s_on = taint_summary(on.image, [b"x", b"77"], on.base_env())
+        s_off = taint_summary(off.image, [b"x", b"77"], off.base_env())
+        assert s_on.tainted_instructions > 2 * s_off.tainted_instructions
+        assert s_on.symbolic_branches > s_off.symbolic_branches

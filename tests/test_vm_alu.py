@@ -1,0 +1,167 @@
+"""Differential tests of ALU/flag semantics: helper functions vs the
+machine executing real instructions, and both vs Python reference
+arithmetic (hypothesis-driven)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import VMError
+from repro.vm import Flags, alu, s64, sext, u64
+from repro.vm.cpu import bits_to_f32, bits_to_f64, f32_round, f32_to_bits, f64_to_bits
+
+from .helpers import run_asm
+
+u64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestScalarHelpers:
+    @given(a=u64s)
+    def test_s64_u64_roundtrip(self, a):
+        assert u64(s64(a)) == a
+
+    def test_sext(self):
+        assert sext(0xFF, 8) == 2**64 - 1
+        assert sext(0x7F, 8) == 0x7F
+        assert sext(0x8000, 16) == u64(-0x8000)
+
+    @given(a=u64s, b=u64s)
+    def test_add_sub_inverse(self, a, b):
+        assert alu("sub", alu("add", a, b), b) == a
+
+    @given(a=u64s, b=u64s)
+    def test_reference_semantics(self, a, b):
+        assert alu("add", a, b) == (a + b) % 2**64
+        assert alu("mul", a, b) == (a * b) % 2**64
+        assert alu("and", a, b) == a & b
+        assert alu("or", a, b) == a | b
+        assert alu("xor", a, b) == a ^ b
+
+    @given(a=u64s, b=st.integers(min_value=0, max_value=63))
+    def test_shift_semantics(self, a, b):
+        assert alu("shl", a, b) == (a << b) % 2**64
+        assert alu("shr", a, b) == a >> b
+        assert alu("sar", a, b) == u64(s64(a) >> b)
+
+    @given(a=u64s, b=u64s.filter(lambda v: v != 0))
+    def test_udiv_urem_identity(self, a, b):
+        q, r = alu("udiv", a, b), alu("urem", a, b)
+        assert q * b + r == a and r < b
+
+    @given(a=st.integers(min_value=-(2**62), max_value=2**62),
+           b=st.integers(min_value=-(2**62), max_value=2**62).filter(lambda v: v != 0))
+    def test_sdiv_truncates_toward_zero(self, a, b):
+        q = s64(alu("sdiv", u64(a), u64(b)))
+        r = s64(alu("srem", u64(a), u64(b)))
+        expected_q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected_q = -expected_q
+        assert q == expected_q
+        assert q * b + r == a
+        assert r == 0 or (r < 0) == (a < 0)  # remainder follows the dividend
+
+    def test_division_by_zero_faults(self):
+        for op in ("udiv", "sdiv", "urem", "srem"):
+            with pytest.raises(VMError) as err:
+                alu(op, 5, 0)
+            assert err.value.signo == 8
+
+
+class TestFlags:
+    def test_sub_flags_equal(self):
+        flags = Flags()
+        alu("sub", 5, 5, flags)
+        assert flags.zf and not flags.cf
+
+    def test_sub_flags_borrow(self):
+        flags = Flags()
+        alu("sub", 3, 5, flags)
+        assert flags.cf and not flags.zf
+
+    def test_signed_overflow(self):
+        flags = Flags()
+        alu("sub", u64(-2**63), 1, flags)
+        assert flags.of
+
+    @given(a=u64s, b=u64s)
+    def test_conditions_match_comparisons(self, a, b):
+        flags = Flags()
+        alu("sub", a, b, flags)
+        sa, sb = s64(a), s64(b)
+        assert flags.condition("jz") == (a == b)
+        assert flags.condition("jnz") == (a != b)
+        assert flags.condition("jb") == (a < b)
+        assert flags.condition("jbe") == (a <= b)
+        assert flags.condition("ja") == (a > b)
+        assert flags.condition("jae") == (a >= b)
+        assert flags.condition("jl") == (sa < sb)
+        assert flags.condition("jle") == (sa <= sb)
+        assert flags.condition("jg") == (sa > sb)
+        assert flags.condition("jge") == (sa >= sb)
+
+
+_JCC_CASES = [
+    ("jl", -3, 2, True), ("jl", 2, -3, False),
+    ("jg", 7, 7, False), ("jge", 7, 7, True),
+    ("jb", 1, 2, True), ("ja", 2, 1, True),
+]
+
+
+class TestMachineBranches:
+    @pytest.mark.parametrize("cc,a,b,taken", _JCC_CASES)
+    def test_branch_taken_in_machine(self, cc, a, b, taken):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {a}
+            movi r2, {b}
+            cmp r1, r2
+            {cc} .Ltaken
+            movi r1, 0
+            jmp .Lend
+        .Ltaken:
+            movi r1, 1
+        .Lend:
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == (1 if taken else 0)
+
+    @given(a=st.integers(min_value=0, max_value=2**32), b=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_machine_alu_matches_helper(self, a, b):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {a}
+            movi r2, {b}
+            add r1, r2
+            xori r1, {b}
+            mov r3, r1
+            andi r3, 0xff
+            mov r1, r3
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        expected = (((a + b) % 2**64) ^ b) & 0xFF
+        assert result.exit_code == expected
+
+
+class TestFloatHelpers:
+    def test_f32_rounding_at_1024(self):
+        # The fp_float bomb's arithmetic fact.
+        assert f32_round(1024.0 + 1e-5) == 1024.0
+        assert f32_round(1024.0 + 1e-3) != 1024.0
+
+    @given(bits=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_f32_bits_roundtrip(self, bits):
+        value = bits_to_f32(bits)
+        if value == value:  # skip NaNs (payloads are not preserved)
+            assert bits_to_f32(f32_to_bits(value)) == value
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_bits_roundtrip(self, value):
+        assert bits_to_f64(f64_to_bits(value)) == value

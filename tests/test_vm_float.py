@@ -1,0 +1,218 @@
+"""Differential tests of the FP instruction set against IEEE semantics."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from .helpers import run_asm
+
+f32s = st.floats(allow_nan=False, allow_infinity=False, width=32)
+f64s = st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-1e300, max_value=1e300)
+
+
+def _f64_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def _f32_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _run_fp_binop(op: str, a_bits: int, b_bits: int) -> int:
+    """Execute one FP instruction and return the result register bits
+    (low 32 reported via two exits for 64-bit results)."""
+    result = run_asm(f"""
+    .text
+    .global _start
+    _start:
+        movi r1, {a_bits}
+        fmovr f0, r1
+        movi r1, {b_bits}
+        fmovr f1, r1
+        {op} f0, f1
+        rmovf r2, f0
+        ; report low and high halves through memory + stdout-free exit
+        movi r3, out
+        st [r3], r2
+        ld r1, [r3]
+        andi r1, 0xff
+        movi r0, 0
+        syscall
+        hlt
+    .data
+    out: .quad 0
+    """)
+    return result
+
+
+class TestDoubleArithmetic:
+    @given(a=f64s, b=f64s)
+    @settings(max_examples=12, deadline=None)
+    def test_faddd_matches_python(self, a, b):
+        result = _run_fp_binop("faddd", _f64_bits(a), _f64_bits(b))
+        expected = _f64_bits(a + b) & 0xFF
+        assert result.exit_code == expected
+
+    @given(a=f64s, b=f64s)
+    @settings(max_examples=12, deadline=None)
+    def test_fmuld_matches_python(self, a, b):
+        result = _run_fp_binop("fmuld", _f64_bits(a), _f64_bits(b))
+        assert result.exit_code == (_f64_bits(a * b) & 0xFF)
+
+    def test_fdivd_by_zero_gives_inf(self):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {_f64_bits(1.0)}
+            fmovr f0, r1
+            movi r1, 0
+            fmovr f1, r1
+            fdivd f0, f1
+            rmovf r2, f0
+            movi r3, {_f64_bits(math.inf)}
+            cmp r2, r3
+            jz .Linf
+            movi r1, 0
+            jmp .Lout
+        .Linf:
+            movi r1, 1
+        .Lout:
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == 1
+
+
+class TestSingleRounding:
+    def test_fadds_rounds_to_single(self):
+        # The fp_float bomb's arithmetic fact, at the instruction level.
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {_f32_bits(1024.0)}
+            fmovr f0, r1
+            movi r1, {_f32_bits(1e-5)}
+            fmovr f1, r1
+            fadds f0, f1
+            rmovf r2, f0
+            movi r3, {_f32_bits(1024.0)}
+            cmp r2, r3
+            jz .Lsame
+            movi r1, 0
+            jmp .Lout
+        .Lsame:
+            movi r1, 1
+        .Lout:
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == 1  # 1024f + 1e-5f == 1024f
+
+    @given(a=f32s, b=f32s)
+    @settings(max_examples=12, deadline=None)
+    def test_fmuls_rounds_like_numpy_style_float32(self, a, b):
+        import struct as _s
+
+        def f32_round(x):
+            return _s.unpack("<f", _s.pack("<f", x))[0]
+
+        result = _run_fp_binop("fmuls", _f32_bits(a), _f32_bits(b))
+        expected = _f32_bits(f32_round(f32_round(a) * f32_round(b))) & 0xFF
+        assert result.exit_code == expected
+
+
+class TestConversions:
+    @pytest.mark.parametrize("value", [-5, 0, 7, 123456, -987654])
+    def test_int_double_roundtrip(self, value):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {value}
+            cvtifd f0, r1
+            cvtfid r2, f0
+            mov r1, r2
+            andi r1, 0xff
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == value & 0xFF
+
+    def test_truncation_toward_zero(self):
+        for value, expected in ((2.9, 2), (-2.9, -2 & 0xFF)):
+            result = run_asm(f"""
+            .text
+            .global _start
+            _start:
+                movi r1, {_f64_bits(value)}
+                fmovr f0, r1
+                cvtfid r2, f0
+                mov r1, r2
+                andi r1, 0xff
+                movi r0, 0
+                syscall
+                hlt
+            """)
+            assert result.exit_code == expected
+
+    def test_single_double_widening(self):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {_f32_bits(1.5)}
+            fmovr f0, r1
+            cvtsd f0, f0
+            rmovf r2, f0
+            movi r3, {_f64_bits(1.5)}
+            cmp r2, r3
+            jz .Lok
+            movi r1, 0
+            jmp .Lout
+        .Lok:
+            movi r1, 1
+        .Lout:
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == 1
+
+
+class TestFloatCompare:
+    @pytest.mark.parametrize("a,b,cc,taken", [
+        (1.0, 2.0, "jb", True),
+        (2.0, 1.0, "ja", True),
+        (1.5, 1.5, "jz", True),
+        (1.5, 1.5, "jb", False),
+        (-1.0, 1.0, "jb", True),
+    ])
+    def test_fcmpd_branches(self, a, b, cc, taken):
+        result = run_asm(f"""
+        .text
+        .global _start
+        _start:
+            movi r1, {_f64_bits(a)}
+            fmovr f0, r1
+            movi r1, {_f64_bits(b)}
+            fmovr f1, r1
+            fcmpd f0, f1
+            {cc} .Lt
+            movi r1, 0
+            jmp .Lout
+        .Lt:
+            movi r1, 1
+        .Lout:
+            movi r0, 0
+            syscall
+            hlt
+        """)
+        assert result.exit_code == (1 if taken else 0)
