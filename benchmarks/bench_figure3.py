@@ -7,11 +7,16 @@ We reproduce the shape: a small tainted count without printing, a much
 larger one with it, plus extra symbolic branches in the model.
 """
 
+from repro import obs
 from repro.eval import run_figure3
+from repro.obs import MemorySink
 
 
 def test_figure3_printf_blowup(once):
-    result = once(run_figure3)
+    sink = MemorySink()
+    recorder = obs.Recorder(sinks=(sink,))
+    with obs.recording(recorder):
+        result = once(run_figure3)
     print("\n" + result.render())
 
     off, on = result.off, result.on
@@ -23,6 +28,20 @@ def test_figure3_printf_blowup(once):
     assert result.extra_branches > 0
     assert on.model_nodes > 2 * off.model_nodes
 
+    # The same numbers must be visible through the metrics path: each
+    # variant's "figure3" span carries the taint counter deltas.
+    deltas = {
+        event["attrs"]["variant"]: event["counters"]
+        for event in sink.events
+        if event["t"] == "span" and event["name"] == "figure3"
+    }
+    assert deltas["fig3_printf_off"]["taint.instructions_tainted"] == \
+        off.tainted_instructions
+    assert deltas["fig3_printf_on"]["taint.instructions_tainted"] == \
+        on.tainted_instructions
+
     once.benchmark.extra_info["tainted_off"] = off.tainted_instructions
     once.benchmark.extra_info["tainted_on"] = on.tainted_instructions
     once.benchmark.extra_info["extra"] = result.extra_tainted
+    once.benchmark.extra_info["model_nodes_on"] = \
+        deltas["fig3_printf_on"].get("taint.model_nodes", 0)

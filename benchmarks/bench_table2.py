@@ -9,11 +9,14 @@ labels.  The shape criteria from the paper:
 * the per-cell agreement is reported (and must stay high).
 """
 
+from repro import obs
 from repro.eval import render_table2, run_table2, verify_table1_against_observations
 
 
 def test_table2_full_matrix(once):
-    result = once(run_table2)
+    recorder = obs.Recorder()
+    with obs.recording(recorder):
+        result = once(run_table2)
     print("\n" + render_table2(result))
 
     counts = result.solved_counts()
@@ -48,3 +51,19 @@ def test_table2_full_matrix(once):
 
     once.benchmark.extra_info["agreement"] = f"{match}/{total}"
     once.benchmark.extra_info["solved"] = counts
+
+    # The per-stage cost profile of the whole matrix, from the recorder:
+    # where the pipeline actually spends its time (trace/lift/extract/
+    # solve/replay), plus the headline work counters.
+    snap = recorder.snapshot()
+    once.benchmark.extra_info["stage_wall_s"] = {
+        name: round(stat["wall_s"], 4)
+        for name, stat in sorted(snap["spans"].items())
+        if name in ("trace", "lift", "extract", "solve", "replay", "explore")
+    }
+    for key in ("smt.queries", "smt.conflicts", "concolic.rounds",
+                "vm.instructions", "taint.instructions_tainted"):
+        if key in snap["counters"]:
+            once.benchmark.extra_info[key] = snap["counters"][key]
+    assert snap["counters"].get("smt.queries", 0) > 0
+    assert "solve" in snap["spans"] and "trace" in snap["spans"]

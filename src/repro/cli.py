@@ -19,8 +19,33 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from pathlib import Path
+
+
+@contextlib.contextmanager
+def _metrics(args, want: bool = False):
+    """Install a recorder for the command when metrics were requested.
+
+    ``--metrics-out FILE`` streams JSONL events to *FILE*; *want* forces
+    a sink-less in-memory recorder (used by ``table2 --json``, which
+    needs per-stage timings even without an output file).  Yields the
+    recorder, or ``None`` when observability stays off.
+    """
+    from . import obs
+
+    out = getattr(args, "metrics_out", None)
+    if out is None and not want:
+        yield None
+        return
+    try:
+        sinks = [obs.JsonlSink(out)] if out is not None else []
+    except OSError as err:
+        raise SystemExit(f"cannot open {out}: {err.strerror}")
+    with obs.recording(obs.Recorder(sinks=sinks)) as rec:
+        yield rec
 
 
 def _load_image(path: str):
@@ -67,11 +92,14 @@ def cmd_cc(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from . import obs
     from .vm import Machine
 
     image = _load_image(args.binary)
     argv = [Path(args.binary).name.encode()] + [a.encode() for a in args.args]
-    result = Machine(image, argv, _parse_env(args.env)).run(args.max_steps)
+    with _metrics(args):
+        with obs.span("run", binary=Path(args.binary).name):
+            result = Machine(image, argv, _parse_env(args.env)).run(args.max_steps)
     sys.stdout.write(result.stdout.decode("latin1"))
     if result.bomb_triggered:
         print("[bomb triggered]", file=sys.stderr)
@@ -123,31 +151,35 @@ def cmd_solve(args) -> int:
     from .tools.profiles import SYMEX_PROFILES, TRACE_PROFILES
     from .vm import Machine
 
+    from . import obs
+
     image = _load_image(args.binary)
     seed = [s.encode() for s in (args.seed or ["1"])]
     argv0 = Path(args.binary).name.encode()
-    if args.tool in TRACE_PROFILES:
-        report = ConcolicEngine(TRACE_PROFILES[args.tool]).run(
-            image, seed, _parse_env(args.env), argv0=argv0)
-        solved, solution = report.solved, report.solution
-        diags = report.diagnostics
-    elif args.tool in SYMEX_PROFILES or args.tool == "rexx":
-        if args.tool == "rexx":
-            from .tools.rexx import REXX as policy
+    with _metrics(args):
+        if args.tool in TRACE_PROFILES:
+            report = ConcolicEngine(TRACE_PROFILES[args.tool]).run(
+                image, seed, _parse_env(args.env), argv0=argv0)
+            solved, solution = report.solved, report.solution
+            diags = report.diagnostics
+        elif args.tool in SYMEX_PROFILES or args.tool == "rexx":
+            if args.tool == "rexx":
+                from .tools.rexx import REXX as policy
+            else:
+                policy = SYMEX_PROFILES[args.tool]
+            engine = AngrEngine(image, policy)
+            raw = engine.explore(seed, argv0=argv0)
+            solution = None
+            with obs.span("replay", tool=args.tool):
+                for claim in raw.claimed_inputs:
+                    replay = Machine(image, [argv0] + claim, _parse_env(args.env))
+                    if replay.run().bomb_triggered:
+                        solution = claim
+                        break
+            solved = solution is not None
+            diags = raw.diagnostics
         else:
-            policy = SYMEX_PROFILES[args.tool]
-        engine = AngrEngine(image, policy)
-        raw = engine.explore(seed, argv0=argv0)
-        solution = None
-        for claim in raw.claimed_inputs:
-            replay = Machine(image, [argv0] + claim, _parse_env(args.env))
-            if replay.run().bomb_triggered:
-                solution = claim
-                break
-        solved = solution is not None
-        diags = raw.diagnostics
-    else:
-        raise SystemExit(f"unknown tool {args.tool!r}")
+            raise SystemExit(f"unknown tool {args.tool!r}")
     if solved:
         print("SOLVED:", [s.decode("latin1") for s in solution])
         return 0
@@ -173,9 +205,30 @@ def cmd_table2(args) -> int:
 
     bombs = tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS
     tools = tuple(args.tools) if args.tools else TOOL_COLUMNS
-    result = run_table2(bomb_ids=bombs, tools=tools, verbose=True)
+    with _metrics(args, want=args.json):
+        result = run_table2(bomb_ids=bombs, tools=tools, verbose=not args.json)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+        return 0
     print()
     print(render_table2(result))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs import aggregate_events, read_events, render_stats
+
+    try:
+        events = read_events(args.metrics)
+    except OSError as err:
+        raise SystemExit(f"stats: cannot read {args.metrics}: {err.strerror}")
+    except ValueError as err:
+        raise SystemExit(
+            f"stats: {args.metrics} is not a JSONL event stream ({err})")
+    if not events:
+        print(f"{args.metrics}: no events")
+        return 1
+    print(render_stats(aggregate_events(events)))
     return 0
 
 
@@ -197,6 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("args", nargs="*")
     p.add_argument("--env", action="append", metavar="KEY=VALUE")
     p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("dis", help="disassemble a REXF binary")
@@ -221,6 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bapx | tritonx | angrx | angrx_nolib | rexx")
     p.add_argument("--seed", action="append", metavar="ARG")
     p.add_argument("--env", action="append", metavar="KEY=VALUE")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("bombs", help="list the logic-bomb dataset")
@@ -229,7 +286,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="run (a slice of) the Table II matrix")
     p.add_argument("--bombs", nargs="*")
     p.add_argument("--tools", nargs="*")
+    p.add_argument("--json", action="store_true",
+                   help="emit the matrix as JSON (outcome, expected, "
+                        "matches_paper, per-stage timings)")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("stats", help="summarize a --metrics-out JSONL file")
+    p.add_argument("metrics", help="path to a FILE.jsonl event stream")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

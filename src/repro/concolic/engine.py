@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, SolverError
 from ..smt import Solver
@@ -73,12 +74,18 @@ class ConcolicEngine:
                 continue
             tried.add(key)
             report.rounds += 1
+            obs.count("concolic.rounds")
+            if report.rounds > 1:
+                # Re-executing a solver-derived input from scratch is
+                # this pipeline's checkpoint restore.
+                obs.count("concolic.checkpoint_restores")
 
-            trace = record_trace(
-                image, [argv0] + argv_tail, env,
-                max_steps=policy.max_trace_steps,
-                max_events=policy.max_trace_events,
-            )
+            with obs.span("trace", round=report.rounds, tool=policy.name):
+                trace = record_trace(
+                    image, [argv0] + argv_tail, env,
+                    max_steps=policy.max_trace_steps,
+                    max_events=policy.max_trace_events,
+                )
             if trace.bomb_triggered:
                 report.solved = True
                 report.solution = argv_tail
@@ -140,8 +147,13 @@ class ConcolicEngine:
                 solver.add(prior.expr)
             solver.add(negation)
             report.queries += 1
+            obs.count("concolic.branches_negated")
+            obs.observe("concolic.constraint_nodes",
+                        sum(c.expr.size() for c in constraints[:i])
+                        + negation.size())
             try:
-                outcome = solver.check()
+                with obs.span("solve", pc=target.pc, tool=policy.name):
+                    outcome = solver.check()
             except SolverError as err:
                 if "fp theory" in str(err) or "divisor" in str(err):
                     report.diagnostics.emit(
@@ -153,6 +165,7 @@ class ConcolicEngine:
                 continue
             candidate = self._rebuild_argv(replay, outcome.model, seed_model)
             if candidate is not None and tuple(candidate) not in tried:
+                obs.count("concolic.testcases_enqueued")
                 queue.append(candidate)
 
     def _seed_model(self, replay: ReplayResult) -> dict[str, int]:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, VMError
 from ..ir import il
@@ -101,6 +102,9 @@ class TraceReplayer:
         self.policy = policy
         self.diags = diagnostics if diagnostics is not None else DiagnosticLog()
         self.lib_data_ranges = image.lib_object_ranges()
+        # Lifted-IL cache: a trace revisits the same pc constantly
+        # (loops, library calls), so lift each distinct instruction once.
+        self._lift_cache: dict[int, list] = {}
 
     # -- public -----------------------------------------------------------
 
@@ -120,19 +124,37 @@ class TraceReplayer:
         self.result = result
         self._declare_argv(trace, result)
 
-        try:
-            for event in trace.events:
-                if isinstance(event, StepEvent):
-                    self._step(event)
-                elif isinstance(event, SyscallEvent):
-                    self._apply_syscall(event)
-                elif isinstance(event, SignalEvent):
-                    self._apply_signal(event)
-        except _ReplayTruncated:
-            pass  # clean early stop; constraints so far remain usable
-        except ReplayAbort as err:
-            result.aborted = str(err)
-            self.diags.emit(DiagnosticKind.ENGINE_CRASH, str(err))
+        if obs.active() is not None:
+            # The lifting stage, separable so its cost is visible: warm
+            # the IL cache over the trace's distinct instructions.
+            with obs.span("lift"):
+                cache = self._lift_cache
+                lifted = 0
+                for event in trace.events:
+                    if isinstance(event, StepEvent):
+                        addr = event.instr.addr
+                        if addr not in cache:
+                            cache[addr] = lift(event.instr)
+                            lifted += 1
+                obs.count("lift.instructions", lifted)
+
+        with obs.span("extract"):
+            try:
+                for event in trace.events:
+                    if isinstance(event, StepEvent):
+                        self._step(event)
+                    elif isinstance(event, SyscallEvent):
+                        self._apply_syscall(event)
+                    elif isinstance(event, SignalEvent):
+                        self._apply_signal(event)
+            except _ReplayTruncated:
+                pass  # clean early stop; constraints so far remain usable
+            except ReplayAbort as err:
+                result.aborted = str(err)
+                self.diags.emit(DiagnosticKind.ENGINE_CRASH, str(err))
+            obs.count("taint.instructions_total", result.total_instructions)
+            obs.count("taint.instructions_tainted", result.tainted_instructions)
+            obs.count("taint.symbolic_branches", len(result.constraints))
         return result
 
     # -- argv declaration (the Es0-prone stage) --------------------------------
@@ -277,7 +299,11 @@ class TraceReplayer:
         tid = event.tid
         pc = instr.addr
 
-        for stmt in lift(instr):
+        stmts = self._lift_cache.get(pc)
+        if stmts is None:
+            stmts = lift(instr)
+            self._lift_cache[pc] = stmts
+        for stmt in stmts:
             if isinstance(stmt, il.Move):
                 conc, sym = self._get(th, tmps, stmt.src)
                 tainted |= sym is not None

@@ -1,6 +1,6 @@
 """Evaluation harness reproducing the paper's Section V."""
 
-from .classify import CONCRETIZATION_THRESHOLD, classify
+from .classify import CONCRETIZATION_THRESHOLD, classify, primary_diagnostic
 from .figures import DatasetStats, Figure3Result, run_dataset_stats, run_figure3
 from .harness import CellResult, Table2Result, run_cell, run_negative_bomb, run_table2
 from .report import render_markdown_report, unsolved_cases
@@ -13,6 +13,7 @@ __all__ = [
     "Figure3Result",
     "Table2Result",
     "classify",
+    "primary_diagnostic",
     "render_markdown_report",
     "render_table1",
     "render_table2",

@@ -26,6 +26,7 @@ label using explicit precedence rules:
 
 from __future__ import annotations
 
+from ..errors import Diagnostic
 from ..errors import DiagnosticKind as K
 from ..errors import ErrorStage
 from ..tools.api import ToolReport
@@ -80,3 +81,24 @@ def classify(report: ToolReport) -> ErrorStage:
     # Nothing symbolic ever surfaced and nothing was diagnosed: the tool
     # simply never saw the trigger as an input — a declaration gap.
     return ErrorStage.ES0
+
+
+def primary_diagnostic(report: ToolReport,
+                       outcome: ErrorStage) -> Diagnostic | None:
+    """The diagnostic that drove *outcome* — the cell's root cause.
+
+    Returns the first diagnostic whose stage matches the classified
+    outcome (engines emit in causal order, so the first match is the
+    root), falling back to the first diagnostic of any stage when the
+    label came from precedence overrides (e.g. an Es3 run reclassified
+    as Es2 by the concretization threshold).  ``None`` for solved cells
+    or runs with an empty log.
+    """
+    if outcome is ErrorStage.OK:
+        return None
+    for diag in report.diagnostics:
+        if diag.stage is outcome:
+            return diag
+    for diag in report.diagnostics:
+        return diag
+    return None

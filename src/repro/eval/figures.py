@@ -12,6 +12,7 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from .. import obs
 from ..bombs import dataset_sizes, get_bomb
 from ..trace.taint import TaintSummary, taint_summary
 
@@ -50,9 +51,10 @@ def run_figure3(argv_value: bytes = b"77") -> Figure3Result:
     results = {}
     for variant in ("fig3_printf_off", "fig3_printf_on"):
         bomb = get_bomb(variant)
-        results[variant] = taint_summary(
-            bomb.image, [variant.encode(), argv_value], bomb.base_env()
-        )
+        with obs.span("figure3", variant=variant):
+            results[variant] = taint_summary(
+                bomb.image, [variant.encode(), argv_value], bomb.base_env()
+            )
     return Figure3Result(off=results["fig3_printf_off"],
                          on=results["fig3_printf_on"])
 

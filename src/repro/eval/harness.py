@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS, all_bombs, get_bomb
 from ..bombs.suite import Bomb
 from ..errors import ErrorStage
 from ..tools.api import ToolReport, get_tool
-from .classify import classify
+from .classify import classify, primary_diagnostic
 
 
 @dataclass
@@ -27,6 +28,11 @@ class CellResult:
     outcome: ErrorStage
     expected: str | None
     report: ToolReport
+    #: Wall seconds per pipeline stage (trace/lift/extract/solve/replay),
+    #: summed over the cell; empty when no recorder was installed.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: The root-cause diagnostic behind a non-OK label, as text.
+    diagnostic: str | None = None
 
     @property
     def label(self) -> str:
@@ -37,6 +43,19 @@ class CellResult:
         if self.expected is None:
             return None
         return self.label == self.expected
+
+    def to_json(self) -> dict:
+        """JSON-serializable summary for ``repro table2 --json``."""
+        return {
+            "bomb": self.bomb_id,
+            "tool": self.tool,
+            "outcome": self.label,
+            "expected": self.expected,
+            "matches_paper": self.matches_paper,
+            "elapsed_s": round(self.report.elapsed, 6),
+            "timings_s": {k: round(v, 6) for k, v in sorted(self.timings.items())},
+            "diagnostic": self.diagnostic,
+        }
 
 
 @dataclass
@@ -52,10 +71,18 @@ class Table2Result:
         return {t: c for (b, t), c in self.cells.items() if b == bomb_id}
 
     def solved_counts(self) -> dict[str, int]:
+        """Solved-bomb count per tool.
+
+        Every tool that appears in the matrix gets an entry, even at
+        zero — previously a non-``TOOL_COLUMNS`` tool (e.g. ``rexx``)
+        was dropped from the result unless it solved at least one bomb.
+        """
         counts = {tool: 0 for tool in TOOL_COLUMNS}
+        for (bomb, tool) in self.cells:
+            counts.setdefault(tool, 0)
         for (bomb, tool), cell in self.cells.items():
             if cell.outcome is ErrorStage.OK:
-                counts[tool] = counts.get(tool, 0) + 1
+                counts[tool] += 1
         return counts
 
     def solved_by_angr_family(self) -> int:
@@ -71,17 +98,47 @@ class Table2Result:
         labelled = [c for c in self.cells.values() if c.expected is not None]
         return sum(1 for c in labelled if c.matches_paper), len(labelled)
 
+    def to_json(self) -> dict:
+        """JSON-serializable form for ``repro table2 --json``."""
+        matched, labelled = self.agreement()
+        return {
+            "cells": [
+                cell.to_json()
+                for _, cell in sorted(self.cells.items())
+            ],
+            "solved_counts": self.solved_counts(),
+            "agreement": {"matched": matched, "labelled": labelled},
+        }
+
 
 def run_cell(bomb: Bomb, tool_name: str) -> CellResult:
     """Evaluate one (bomb, tool) pair."""
     tool = get_tool(tool_name)
-    report = tool.analyze_bomb(bomb)
+    with obs.span("cell", bomb=bomb.bomb_id, tool=tool_name) as sp:
+        report = tool.analyze_bomb(bomb)
+        if report.solved and report.solution is not None:
+            # Re-validate the accepted solution concretely, so every
+            # solved cell carries an explicit replay stage (trace-family
+            # engines validate inline while tracing and would otherwise
+            # show no replay time).
+            with obs.span("replay", bomb=bomb.bomb_id, tool=tool_name) as rp:
+                confirmed = bomb.triggers(report.solution, report.solution_env)
+                rp.set("validated", confirmed)
+        outcome = classify(report)
+        root = primary_diagnostic(report, outcome)
+        sp.set("outcome", str(outcome))
+        sp.set("expected", bomb.expected.get(tool_name))
+        if root is not None:
+            sp.set("diagnostic", str(root))
+        timings = dict(sp.stage_totals)
     return CellResult(
         bomb_id=bomb.bomb_id,
         tool=tool_name,
-        outcome=classify(report),
+        outcome=outcome,
         expected=bomb.expected.get(tool_name),
         report=report,
+        timings=timings,
+        diagnostic=str(root) if root is not None else None,
     )
 
 

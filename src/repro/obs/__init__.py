@@ -1,0 +1,49 @@
+"""Structured tracing & metrics for the whole pipeline.
+
+A dependency-free instrumentation layer: hierarchical spans with
+wall/CPU timing, named counters and histograms, and pluggable sinks
+(in-memory aggregation plus a JSONL event stream).  One process-wide
+:class:`Recorder` is installed with :func:`install`/:func:`recording`;
+when none is installed every hook degrades to a near-free no-op, so the
+engines stay import-cheap and fast with observability off.
+
+The metric names form the measurement substrate for the paper's
+artifacts (see the README glossary): ``taint.instructions_tainted`` is
+Figure 3's tainted-instruction count, the ``trace``/``lift``/
+``extract``/``solve``/``replay`` spans are the per-cell stage timeline
+behind each Table II label, and ``smt.*`` exposes the CDCL core.
+"""
+
+from .core import (
+    NULL_SPAN,
+    Recorder,
+    Span,
+    active,
+    count,
+    install,
+    observe,
+    recording,
+    span,
+    uninstall,
+)
+from .sinks import JsonlSink, MemorySink
+from .stats import Aggregate, aggregate_events, read_events, render_stats
+
+__all__ = [
+    "Aggregate",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_SPAN",
+    "Recorder",
+    "Span",
+    "active",
+    "aggregate_events",
+    "count",
+    "install",
+    "observe",
+    "read_events",
+    "recording",
+    "render_stats",
+    "span",
+    "uninstall",
+]

@@ -1,0 +1,281 @@
+"""Recorder core: spans, counters, histograms, process-wide scoping.
+
+Design constraints (why the shape is what it is):
+
+* **Zero cost when off.**  Engines call the module-level
+  :func:`count`/:func:`observe`/:func:`span` hooks; each is one global
+  load and a ``None`` check when no recorder is installed.  Hot loops
+  (the VM step loop, the SAT search) never call these per iteration —
+  they keep local integers and flush once per run/query.
+* **Deterministic for tests.**  Both clocks are injectable, so span
+  timing is exactly reproducible with a fake clock.
+* **Sinks see a flat event stream.**  Spans emit one event at exit
+  (children before parents, with a ``path`` recording the hierarchy);
+  counters and histograms are aggregated in memory and emitted once as
+  summary events on :meth:`Recorder.flush`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed region.  Created via :meth:`Recorder.span`.
+
+    At exit the span knows its wall/CPU duration, the counter deltas
+    that occurred inside it, and ``stage_totals`` — wall seconds of
+    every descendant span, aggregated by name (the per-cell stage
+    timeline the eval harness reads).
+    """
+
+    __slots__ = ("name", "attrs", "path", "wall_s", "cpu_s", "stage_totals",
+                 "_recorder", "_wall0", "_cpu0", "_counters0")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.stage_totals: dict[str, float] = {}
+        self._recorder = recorder
+
+    def set(self, key: str, value) -> None:
+        """Attach an attribute to the span (appears in its event)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        rec = self._recorder
+        if rec._stack:
+            self.path = rec._stack[-1].path + "/" + self.name
+        rec._stack.append(self)
+        self._counters0 = dict(rec.counters)
+        self._wall0 = rec._wall_clock()
+        self._cpu0 = rec._cpu_clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = self._recorder
+        self.wall_s = rec._wall_clock() - self._wall0
+        self.cpu_s = rec._cpu_clock() - self._cpu0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        rec._stack.pop()
+        # Every ancestor accumulates this span's wall time under its
+        # name, so an enclosing "cell" span ends with a flat timeline
+        # of all the stages that ran inside it.
+        for ancestor in rec._stack:
+            totals = ancestor.stage_totals
+            totals[self.name] = totals.get(self.name, 0.0) + self.wall_s
+        deltas = {
+            name: value - self._counters0.get(name, 0)
+            for name, value in rec.counters.items()
+            if value != self._counters0.get(name, 0)
+        }
+        rec._record_span(self, deltas)
+        return False
+
+
+class _NullSpan:
+    """Reentrant no-op span used when no recorder is installed."""
+
+    __slots__ = ()
+    wall_s = 0.0
+    cpu_s = 0.0
+    path = ""
+    name = ""
+
+    @property
+    def stage_totals(self) -> dict:
+        return {}
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Aggregates counters/histograms/span stats and feeds sinks.
+
+    *sinks* is an iterable of objects with ``emit(event: dict)`` and
+    ``close()``; the recorder itself keeps the in-memory aggregate, so
+    a sink-less recorder is a pure aggregator.
+    """
+
+    def __init__(self, sinks=(), wall_clock=time.perf_counter,
+                 cpu_clock=time.process_time):
+        self.sinks = list(sinks)
+        self.counters: dict[str, int] = {}
+        self.hists: dict[str, list[float]] = {}
+        self.span_stats: dict[str, dict[str, float]] = {}
+        self._stack: list[Span] = []
+        self._wall_clock = wall_clock
+        self._cpu_clock = cpu_clock
+        self._closed = False
+
+    # -- instrumentation points ------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        self.hists.setdefault(name, []).append(value)
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    # -- internals --------------------------------------------------------
+
+    def _record_span(self, span: Span, counter_deltas: dict[str, int]) -> None:
+        stat = self.span_stats.setdefault(
+            span.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+        stat["count"] += 1
+        stat["wall_s"] += span.wall_s
+        stat["cpu_s"] += span.cpu_s
+        if self.sinks:
+            event = {
+                "t": "span",
+                "name": span.name,
+                "path": span.path,
+                "wall_s": round(span.wall_s, 9),
+                "cpu_s": round(span.cpu_s, 9),
+            }
+            if span.attrs:
+                event["attrs"] = span.attrs
+            if counter_deltas:
+                event["counters"] = counter_deltas
+            self.emit(event)
+
+    # -- reading ----------------------------------------------------------
+
+    @staticmethod
+    def _hist_summary(values: list[float]) -> dict[str, float]:
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return ordered[min(n - 1, int(q * n))]
+
+        return {
+            "count": n,
+            "total": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / n,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+        }
+
+    def snapshot(self) -> dict:
+        """The in-memory aggregate as one plain dict."""
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: self._hist_summary(values)
+                for name, values in self.hists.items()
+            },
+            "spans": {
+                name: dict(stat) for name, stat in self.span_stats.items()
+            },
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Emit counter/histogram summary events to the sinks."""
+        if not self.sinks:
+            return
+        for name in sorted(self.counters):
+            self.emit({"t": "counter", "name": name,
+                       "value": self.counters[name]})
+        for name in sorted(self.hists):
+            self.emit({"t": "hist", "name": name,
+                       **self._hist_summary(self.hists[name])})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        for sink in self.sinks:
+            sink.close()
+
+
+# -- process-wide scoping ---------------------------------------------------
+
+_active: Recorder | None = None
+
+
+def active() -> Recorder | None:
+    """The currently installed recorder, or None when observability is off."""
+    return _active
+
+
+def install(recorder: Recorder) -> None:
+    global _active
+    _active = recorder
+
+
+def uninstall() -> None:
+    global _active
+    _active = None
+
+
+class recording:
+    """``with recording(rec):`` — install *rec* for the block, then
+    flush/close it and restore the previous recorder."""
+
+    def __init__(self, recorder: Recorder, close: bool = True):
+        self.recorder = recorder
+        self._close = close
+        self._prev: Recorder | None = None
+
+    def __enter__(self) -> Recorder:
+        self._prev = _active
+        install(self.recorder)
+        return self.recorder
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _active = self._prev
+        if self._close:
+            self.recorder.close()
+        return False
+
+
+# -- module-level hooks (the cheap always-callable API) ---------------------
+
+def count(name: str, n: int = 1) -> None:
+    rec = _active
+    if rec is not None:
+        rec.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    rec = _active
+    if rec is not None:
+        rec.observe(name, value)
+
+
+def span(name: str, **attrs):
+    rec = _active
+    if rec is None:
+        return NULL_SPAN
+    return rec.span(name, **attrs)

@@ -1,0 +1,51 @@
+"""Event sinks: where the recorder's flat event stream goes.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Two are
+provided: :class:`MemorySink` (keep the events in a list — tests, the
+benchmarks) and :class:`JsonlSink` (one JSON object per line — the
+``--metrics-out`` stream ``repro stats`` consumes).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class MemorySink:
+    """Buffers every event in memory."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Appends one compact JSON object per event to a file.
+
+    Accepts a path (opened lazily, truncated) or any object with a
+    ``write`` method (left open on close).
+    """
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._fp = target
+            self._owns = False
+        else:
+            self._fp = Path(target).open("w", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: dict) -> None:
+        self._fp.write(json.dumps(event, separators=(",", ":"), default=str))
+        self._fp.write("\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._fp.close()
+        else:
+            self._fp.flush()

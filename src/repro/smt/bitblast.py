@@ -26,6 +26,9 @@ class BitBlaster:
         self.solver = solver
         self._cache: dict[int, list[int]] = {}
         self.var_bits: dict[str, list[int]] = {}
+        #: Tseitin gates introduced (fresh SAT variables) — the
+        #: bit-blast size metric the observability layer reports.
+        self.gates = 0
         # Reserved constant: variable 0 is forced true.
         const_var = solver.new_var()
         self.TRUE_LIT = const_var * 2
@@ -35,6 +38,7 @@ class BitBlaster:
     # -- gate helpers -----------------------------------------------------
 
     def _fresh(self) -> int:
+        self.gates += 1
         return self.solver.new_var() * 2
 
     def _gate_and(self, a: int, b: int) -> int:

@@ -49,6 +49,11 @@ class SatSolver:
         self.max_clauses = max_clauses
         self._var_inc = 1.0
         self._ok = True
+        # Lifetime search statistics (across re-invocations of solve),
+        # read by the observability layer after each query.
+        self.decisions = 0
+        self.conflicts = 0
+        self.restarts = 0
         #: Lazy max-heap of (-activity, var); stale entries are skipped
         #: at pop time (standard VSIDS order-heap trick).
         self._order: list[tuple[float, int]] = []
@@ -263,6 +268,7 @@ class SatSolver:
             conflict = self._propagate()
             if conflict != -1:
                 conflicts += 1
+                self.conflicts += 1
                 since_restart += 1
                 if conflicts > self.max_conflicts:
                     raise SolverError(
@@ -289,10 +295,12 @@ class SatSolver:
                 since_restart = 0
                 restart_i += 1
                 restart_budget = 100 * _luby(restart_i)
+                self.restarts += 1
                 self._backtrack(0)
                 continue
             lit = self._decide()
             if lit == -1:
                 return [1 if v == 1 else 0 for v in self.values]
+            self.decisions += 1
             self.trail_lim.append(len(self.trail))
             self._enqueue(lit, -1)

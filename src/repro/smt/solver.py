@@ -13,8 +13,10 @@ which the evaluation harness classifies as the paper's ``E`` outcome
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..errors import SolverError
 from .bitblast import BitBlaster
 from .expr import Expr, eval_expr, mk_bool_and
@@ -71,6 +73,20 @@ class Solver:
         divisors).
         """
         self.queries += 1
+        if obs.active() is None:
+            return self._check(extra)
+        t0 = time.perf_counter()
+        status = "error"
+        try:
+            result = self._check(extra)
+            status = result.status
+            return result
+        finally:
+            obs.count("smt.queries")
+            obs.count(f"smt.{status}")
+            obs.observe("smt.solve_s", time.perf_counter() - t0)
+
+    def _check(self, extra: list[Expr] | None = None) -> CheckResult:
         todo = self.constraints + list(extra or [])
         # Fast constant paths.
         pending = []
@@ -95,11 +111,14 @@ class Solver:
         sat = SatSolver(self.max_conflicts, self.max_clauses)
         blaster = BitBlaster(sat)
         try:
-            for expr in pending:
-                blaster.assert_true(expr)
-        except RecursionError:
-            raise SolverError("formula too deep to encode") from None
-        model = sat.solve()
+            try:
+                for expr in pending:
+                    blaster.assert_true(expr)
+            except RecursionError:
+                raise SolverError("formula too deep to encode") from None
+            model = sat.solve()
+        finally:
+            report_sat_stats(sat, blaster)
         if model is None:
             return CheckResult("unsat")
         return CheckResult("sat", blaster.extract_model(model))
@@ -124,6 +143,26 @@ class Solver:
     def conjunction(self, extra: list[Expr] | None = None) -> Expr:
         """The asserted constraints as a single boolean expression."""
         return mk_bool_and(*(self.constraints + list(extra or [])))
+
+
+def report_sat_stats(sat: SatSolver, blaster: BitBlaster | None = None) -> None:
+    """Flush one SAT instance's search statistics to the recorder.
+
+    Called after every query from :meth:`Solver.check` and from engines
+    that drive a :class:`SatSolver` directly (model enumeration); the
+    counters accumulate across queries, so ``smt.conflicts`` is the
+    total CDCL conflict work of a whole run.
+    """
+    rec = obs.active()
+    if rec is None:
+        return
+    rec.count("smt.conflicts", sat.conflicts)
+    rec.count("smt.decisions", sat.decisions)
+    rec.count("smt.restarts", sat.restarts)
+    rec.observe("smt.clauses", len(sat.clauses))
+    if blaster is not None:
+        rec.count("smt.gates", blaster.gates)
+        rec.observe("smt.gates_per_query", blaster.gates)
 
 
 def solve(constraints: list[Expr], max_conflicts: int = 100_000,

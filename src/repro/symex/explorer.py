@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, EngineError, SolverError
 from ..ir import il
@@ -100,6 +101,14 @@ class AngrEngine:
 
     def explore(self, seed_argv: list[bytes], argv0: bytes = b"prog") -> SymexReport:
         """Directed search for the ``bomb`` symbol from a symbolic argv."""
+        with obs.span("explore", tool=self.policy.name):
+            report = self._explore(seed_argv, argv0)
+        obs.count("symex.states", report.states_explored)
+        obs.count("symex.steps", report.steps)
+        obs.count("symex.queries", report.queries)
+        return report
+
+    def _explore(self, seed_argv: list[bytes], argv0: bytes) -> SymexReport:
         report = SymexReport(tool=self.policy.name, diagnostics=self.diags)
         self.seed_argv = [argv0] + list(seed_argv)
         try:
@@ -135,6 +144,8 @@ class AngrEngine:
                 forks = self._run_quantum(state)
                 total_steps += state.steps
                 state.steps = 0
+                if forks:
+                    obs.count("symex.states_forked", len(forks))
                 for new_state in forks:
                     states_seen += 1
                     worklist.append(new_state)
@@ -151,6 +162,8 @@ class AngrEngine:
                         return report
                 if state.alive:
                     worklist.insert(0, state) if forks else worklist.append(state)
+                elif not state.goal:
+                    obs.count("symex.states_pruned")
         except EngineAbort as err:
             self.diags.emit(err.kind, err.detail)
             report.aborted = err.detail
@@ -242,7 +255,8 @@ class AngrEngine:
         solver = Solver(self.policy.solver_conflicts, self.policy.solver_clauses,
                         self.policy.solver_nodes)
         solver.extend(state.constraints)
-        return solver.check(extra)
+        with obs.span("solve", pc=state.pc, tool=self.policy.name):
+            return solver.check(extra)
 
     def _ensure_model(self, state: SymState) -> None:
         for c in state.constraints:
@@ -292,29 +306,34 @@ class AngrEngine:
         clause over the address bits and the instance is re-solved.
         """
         from ..smt import BitBlaster, SatSolver
+        from ..smt.solver import report_sat_stats
 
         limit = self.policy.mem_resolve_limit
         self.queries += 1
+        obs.count("symex.enum_queries")
         sat = SatSolver(self.policy.solver_conflicts, self.policy.solver_clauses)
         blaster = BitBlaster(sat)
-        for constraint in state.constraints:
-            blaster.assert_true(constraint)
-        addr_bits = blaster.blast(addr)
-        values: list[int] = []
-        while len(values) <= limit:
-            model = sat.solve()
-            if model is None:
-                return values
-            value = 0
-            for i, lit in enumerate(addr_bits):
-                bit = model[lit >> 1] ^ (lit & 1)
-                value |= (bit & 1) << i
-            values.append(value)
-            # Block this value: at least one address bit must differ.
-            sat.add_clause([
-                lit ^ ((value >> i) & 1) for i, lit in enumerate(addr_bits)
-            ])
-        return None  # too many values
+        try:
+            for constraint in state.constraints:
+                blaster.assert_true(constraint)
+            addr_bits = blaster.blast(addr)
+            values: list[int] = []
+            while len(values) <= limit:
+                model = sat.solve()
+                if model is None:
+                    return values
+                value = 0
+                for i, lit in enumerate(addr_bits):
+                    bit = model[lit >> 1] ^ (lit & 1)
+                    value |= (bit & 1) << i
+                values.append(value)
+                # Block this value: at least one address bit must differ.
+                sat.add_clause([
+                    lit ^ ((value >> i) & 1) for i, lit in enumerate(addr_bits)
+                ])
+            return None  # too many values
+        finally:
+            report_sat_stats(sat, blaster)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -358,6 +377,7 @@ class AngrEngine:
         return forks
 
     def _run_hook(self, state: SymState, proc) -> None:
+        obs.count("symex.simproc_hits")
         args = [state.get_reg(i) for i in range(1, 7)]
         ret = proc(self, state, args)
         if isinstance(ret, tuple) and ret[0] == "jump":

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..bombs.suite import Bomb
 from ..concolic import ConcolicEngine
 from ..errors import DiagnosticLog
@@ -99,11 +100,15 @@ class Tool:
             diagnostics=raw.diagnostics,
             aborted=raw.aborted,
         )
-        for claim in raw.claimed_inputs:
-            if bomb.triggers(claim):
-                report.solved = True
-                report.solution = claim
-                break
+        if raw.claimed_inputs:
+            with obs.span("replay", bomb=bomb.bomb_id, tool=self.name) as sp:
+                for claim in raw.claimed_inputs:
+                    obs.count("replay.claims_checked")
+                    if bomb.triggers(claim):
+                        report.solved = True
+                        report.solution = claim
+                        break
+                sp.set("validated", report.solved)
         return report
 
 

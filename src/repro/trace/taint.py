@@ -57,9 +57,13 @@ def taint_summary(
             cross_thread_taint=True,
             div_guard=True,
         )
-    trace = record_trace(image, argv, env, max_steps=max_steps)
+    from .. import obs
+
+    with obs.span("trace"):
+        trace = record_trace(image, argv, env, max_steps=max_steps)
     replay = TraceReplayer(image, policy).replay(trace)
     model_nodes = sum(c.expr.size() for c in replay.constraints)
+    obs.count("taint.model_nodes", model_nodes)
     return TaintSummary(
         total_instructions=replay.total_instructions,
         tainted_instructions=replay.tainted_instructions,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import obs
 from ..binfmt import Image
 from ..errors import VMError
 from ..isa import (
@@ -114,6 +115,13 @@ class Machine:
         self._next_pid = self.env.pid
         self._next_tid = 1
         self._decode_cache: dict[int, Instruction] = {}
+        # Per-opcode/per-syscall tallies exist only while a recorder is
+        # installed; the hot step loop then pays one None-check per
+        # instruction when observability is off.
+        recording = obs.active() is not None
+        self._opcode_counts: dict[str, int] | None = {} if recording else None
+        self._syscall_counts: dict[int, int] = {}
+        self._signals_delivered = 0
         # Hooks (used by the tracing layer).
         self.on_step: Callable[[Process, Thread, Instruction], None] | None = None
         self.on_syscall: Callable[[Process, Thread, int, list[int], int], None] | None = None
@@ -177,6 +185,8 @@ class Machine:
     def run(self, max_steps: int = 2_000_000) -> RunResult:
         """Run to completion or until *max_steps* instructions executed."""
         fault = None
+        steps0 = self.steps
+        signals0 = self._signals_delivered
         while self.steps < max_steps:
             ran_any = False
             for proc in sorted(self.processes.values(), key=lambda p: p.pid):
@@ -200,6 +210,7 @@ class Machine:
         timed_out = self.steps >= max_steps and any(
             p.alive for p in self.processes.values()
         )
+        self._flush_metrics(steps0, signals0)
         return RunResult(
             exit_code=main.exit_code,
             bomb_triggered=self.bomb_triggered,
@@ -208,6 +219,33 @@ class Machine:
             timed_out=timed_out,
             fault=fault,
         )
+
+    def _flush_metrics(self, steps0: int, signals0: int) -> None:
+        """Report this run's tallies to the installed recorder, if any."""
+        rec = obs.active()
+        if rec is None:
+            return
+        rec.count("vm.instructions", self.steps - steps0)
+        rec.count("vm.signals", self._signals_delivered - signals0)
+        if self.bomb_triggered:
+            rec.count("vm.bomb_triggered")
+        if self._syscall_counts:
+            from .syscalls import Sys
+
+            total = 0
+            for nr, n in self._syscall_counts.items():
+                total += n
+                try:
+                    name = Sys(nr).name.lower()
+                except ValueError:
+                    name = str(nr)
+                rec.count(f"vm.syscall.{name}", n)
+            rec.count("vm.syscalls", total)
+            self._syscall_counts.clear()
+        if self._opcode_counts:
+            for name, n in self._opcode_counts.items():
+                rec.count(f"vm.op.{name.lower()}", n)
+            self._opcode_counts.clear()
 
     def _run_quantum(self, proc: Process, thread: Thread, budget: int) -> None:
         for _ in range(budget):
@@ -241,6 +279,10 @@ class Machine:
         if not self.image.is_code_addr(pc):
             raise VMError(f"pc 0x{pc:x} outside code")
         instr = self._fetch(proc, pc)
+        counts = self._opcode_counts
+        if counts is not None:
+            name = instr.op.name
+            counts[name] = counts.get(name, 0) + 1
         if self.on_step:
             self.on_step(proc, thread, instr)
         self._execute(proc, thread, instr)
@@ -376,6 +418,7 @@ class Machine:
     # -- signals ----------------------------------------------------------------
 
     def _deliver_signal(self, proc: Process, thread: Thread, signo: int) -> None:
+        self._signals_delivered += 1
         handler = proc.sig_handlers.get(signo)
         if handler is None:
             self._exit_process(proc, 128 + signo)
@@ -418,6 +461,8 @@ class Machine:
         regs = thread.ctx.regs
         nr = regs[0]
         args = [regs[i] for i in range(1, 6)]
+        if self._opcode_counts is not None:
+            self._syscall_counts[nr] = self._syscall_counts.get(nr, 0) + 1
         result = self._dispatch_syscall(proc, thread, nr, args)
         if result is not _BLOCK and self.on_syscall:
             self.on_syscall(proc, thread, nr, args, result if result is not None else 0)

@@ -91,6 +91,64 @@ class TestSolve:
         assert "diagnostics" in capsys.readouterr().out
 
 
+class TestMetrics:
+    def test_solve_metrics_out(self, crackme, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.jsonl"
+        assert main(["solve", str(crackme), "--tool", "tritonx",
+                     "--seed", "70", "--metrics-out", str(metrics)]) == 0
+        events = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        spans = {e["name"] for e in events if e["t"] == "span"}
+        assert {"trace", "lift", "extract", "solve"} <= spans
+        counters = {e["name"] for e in events if e["t"] == "counter"}
+        assert "taint.instructions_tainted" in counters
+        assert "smt.conflicts" in counters
+
+    def test_stats_renders_a_metrics_file(self, crackme, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        main(["solve", str(crackme), "--tool", "tritonx",
+              "--seed", "70", "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "solve" in out
+        assert "smt.queries" in out
+
+    def test_stats_on_empty_file(self, tmp_path, capsys):
+        metrics = tmp_path / "empty.jsonl"
+        metrics.write_text("")
+        assert main(["stats", str(metrics)]) == 1
+        assert "no events" in capsys.readouterr().out
+
+    def test_table2_json(self, capsys):
+        import json
+
+        assert main(["table2", "--bombs", "cp_stack",
+                     "--tools", "tritonx", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        (cell,) = data["cells"]
+        assert cell["bomb"] == "cp_stack" and cell["tool"] == "tritonx"
+        assert cell["outcome"] == "ok" and cell["matches_paper"] is True
+        for stage in ("trace", "solve", "replay"):
+            assert stage in cell["timings_s"]
+        assert data["solved_counts"]["tritonx"] == 1
+
+    def test_run_metrics_out(self, crackme, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "m.jsonl"
+        assert main(["run", str(crackme), "7",
+                     "--metrics-out", str(metrics)]) == 3
+        events = [json.loads(line)
+                  for line in metrics.read_text().splitlines()]
+        counters = {e["name"]: e.get("value") for e in events
+                    if e["t"] == "counter"}
+        assert counters["vm.instructions"] > 0
+        assert any(e["t"] == "span" and e["name"] == "run" for e in events)
+
+
 class TestDataset:
     def test_bombs_listing(self, capsys):
         assert main(["bombs"]) == 0
