@@ -9,14 +9,56 @@ labels.  The shape criteria from the paper:
 * the per-cell agreement is reported (and must stay high).
 """
 
+import json
+import time
+from pathlib import Path
+
 from repro import obs
 from repro.eval import render_table2, run_table2, verify_table1_against_observations
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table2.json"
+
+
+def _write_bench_json(result, snap, wall_s) -> None:
+    """Persist the matrix cost profile for cross-revision comparison."""
+    counters = snap["counters"]
+    record = {
+        "wall_s": round(wall_s, 3),
+        "solved_counts": result.solved_counts(),
+        "agreement": dict(zip(("matched", "labelled"), result.agreement())),
+        "solver": {
+            key.split(".", 1)[1]: counters[key]
+            for key in ("smt.queries", "smt.assumption_queries",
+                        "smt.prefix_reuse", "smt.conflicts", "smt.gates")
+            if key in counters
+        },
+        "stage_wall_s": {
+            name: round(stat["wall_s"], 4)
+            for name, stat in sorted(snap["spans"].items())
+            if name in ("trace", "lift", "extract", "solve", "replay",
+                        "explore")
+        },
+        "cells": [
+            {
+                "bomb": cell.bomb_id,
+                "tool": cell.tool,
+                "outcome": cell.label,
+                "wall_s": round(cell.report.elapsed, 4),
+                "timings_s": {k: round(v, 4)
+                              for k, v in sorted(cell.timings.items())},
+            }
+            for _, cell in sorted(result.cells.items())
+        ],
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
 
 
 def test_table2_full_matrix(once):
     recorder = obs.Recorder()
+    wall0 = time.perf_counter()
     with obs.recording(recorder):
         result = once(run_table2)
+    wall_s = time.perf_counter() - wall0
     print("\n" + render_table2(result))
 
     counts = result.solved_counts()
@@ -67,3 +109,9 @@ def test_table2_full_matrix(once):
             once.benchmark.extra_info[key] = snap["counters"][key]
     assert snap["counters"].get("smt.queries", 0) > 0
     assert "solve" in snap["spans"] and "trace" in snap["spans"]
+
+    _write_bench_json(result, snap, wall_s)
+    record = json.loads(BENCH_JSON.read_text())
+    assert record["wall_s"] > 0 and len(record["cells"]) == len(result.cells)
+    assert record["solver"]["gates"] > 0 and record["solver"]["conflicts"] >= 0
+    once.benchmark.extra_info["bench_json"] = str(BENCH_JSON.name)

@@ -205,8 +205,11 @@ def cmd_table2(args) -> int:
 
     bombs = tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS
     tools = tuple(args.tools) if args.tools else TOOL_COLUMNS
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("table2: --jobs must be >= 1")
     with _metrics(args, want=args.json):
-        result = run_table2(bomb_ids=bombs, tools=tools, verbose=not args.json)
+        result = run_table2(bomb_ids=bombs, tools=tools,
+                            verbose=not args.json, jobs=args.jobs)
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
         return 0
@@ -286,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="run (a slice of) the Table II matrix")
     p.add_argument("--bombs", nargs="*")
     p.add_argument("--tools", nargs="*")
+    p.add_argument("--jobs", type=int, metavar="N",
+                   help="evaluate cells on N worker processes "
+                        "(default: serial, byte-identical output)")
     p.add_argument("--json", action="store_true",
                    help="emit the matrix as JSON (outcome, expected, "
                         "matches_paper, per-stage timings)")

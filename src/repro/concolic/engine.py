@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, SolverError
-from ..smt import Solver
+from ..smt import IncrementalSolver, Solver
 from ..trace.record import Trace
 from ..trace.tracer import record_trace
 from ..vm import Environment
@@ -125,48 +125,65 @@ class ConcolicEngine:
         constraints = replay.constraints
         seed_model = self._seed_model(replay)
         prefix_ids: list[int] = []
+        # One shared incremental solver per replay: the path prefix is
+        # encoded once and every negation is an assumption query against
+        # it, instead of re-bit-blasting the whole prefix per negation.
+        shared = (IncrementalSolver(policy.solver_conflicts,
+                                    policy.solver_clauses,
+                                    policy.solver_nodes)
+                  if policy.incremental_solver else None)
         for i, target in enumerate(constraints):
             if report.queries >= policy.max_queries:
                 return
             negation = target.negated()
-            if negation.is_const:
-                prefix_ids.append(id(target.expr))
-                continue
-            # Dedup per (path prefix, negated branch): the same branch
-            # may be profitably re-negated under a different prefix —
-            # that is how multi-byte triggers assemble.
-            sig = (target.pc, id(negation), hash(tuple(prefix_ids)))
-            if sig in negated:
-                prefix_ids.append(id(target.expr))
-                continue
-            negated.add(sig)
+            do_query = not negation.is_const
+            if do_query:
+                # Dedup per (path prefix, negated branch): the same branch
+                # may be profitably re-negated under a different prefix —
+                # that is how multi-byte triggers assemble.
+                sig = (target.pc, id(negation), hash(tuple(prefix_ids)))
+                if sig in negated:
+                    do_query = False
+                else:
+                    negated.add(sig)
             prefix_ids.append(id(target.expr))
-            solver = Solver(policy.solver_conflicts, policy.solver_clauses,
-                            policy.solver_nodes)
-            for prior in constraints[:i]:
-                solver.add(prior.expr)
-            solver.add(negation)
-            report.queries += 1
-            obs.count("concolic.branches_negated")
-            obs.observe("concolic.constraint_nodes",
-                        sum(c.expr.size() for c in constraints[:i])
-                        + negation.size())
-            try:
-                with obs.span("solve", pc=target.pc, tool=policy.name):
-                    outcome = solver.check()
-            except SolverError as err:
-                if "fp theory" in str(err) or "divisor" in str(err):
-                    report.diagnostics.emit(
-                        DiagnosticKind.UNSUPPORTED_THEORY, str(err), target.pc
-                    )
-                    continue
-                raise
-            if not outcome.sat:
-                continue
-            candidate = self._rebuild_argv(replay, outcome.model, seed_model)
-            if candidate is not None and tuple(candidate) not in tried:
-                obs.count("concolic.testcases_enqueued")
-                queue.append(candidate)
+            if do_query:
+                report.queries += 1
+                obs.count("concolic.branches_negated")
+                obs.observe("concolic.constraint_nodes",
+                            sum(c.expr.size() for c in constraints[:i])
+                            + negation.size())
+                try:
+                    with obs.span("solve", pc=target.pc, tool=policy.name):
+                        if shared is not None:
+                            outcome = shared.check(negation)
+                        else:
+                            solver = Solver(policy.solver_conflicts,
+                                            policy.solver_clauses,
+                                            policy.solver_nodes)
+                            for prior in constraints[:i]:
+                                solver.add(prior.expr)
+                            solver.add(negation)
+                            outcome = solver.check()
+                except SolverError as err:
+                    if "fp theory" in str(err) or "divisor" in str(err):
+                        report.diagnostics.emit(
+                            DiagnosticKind.UNSUPPORTED_THEORY, str(err),
+                            target.pc,
+                        )
+                        outcome = None
+                    else:
+                        raise
+                if outcome is not None and outcome.sat:
+                    candidate = self._rebuild_argv(replay, outcome.model,
+                                                   seed_model)
+                    if candidate is not None and tuple(candidate) not in tried:
+                        obs.count("concolic.testcases_enqueued")
+                        queue.append(candidate)
+            if shared is not None:
+                # The constraint joins the shared prefix for all later
+                # negations on this path.
+                shared.assert_expr(target.expr)
 
     def _seed_model(self, replay: ReplayResult) -> dict[str, int]:
         model = {}

@@ -66,6 +66,13 @@ class ToolPolicy:
     #: break propagation).
     argv_model: str = "per-byte"
 
+    #: Branch-negation queries share one incremental solver per replay
+    #: (assumption-based queries over a path prefix encoded once).  Off
+    #: means the historical fresh-``Solver``-per-negation behavior; the
+    #: two modes produce identical Table II outcomes, incremental just
+    #: re-encodes far fewer Tseitin gates.
+    incremental_solver: bool = True
+
     # -- budgets (the paper's 10-minute timeout analogue) ---------------
     rounds: int = 16
     max_trace_steps: int = 400_000

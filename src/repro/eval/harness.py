@@ -142,12 +142,97 @@ def run_cell(bomb: Bomb, tool_name: str) -> CellResult:
     )
 
 
+def _print_cell(cell: CellResult) -> None:
+    mark = {True: "=", False: "!", None: " "}[cell.matches_paper]
+    print(
+        f"{cell.bomb_id:20s} {cell.tool:12s} {cell.label:4s} "
+        f"(paper {cell.expected or '-':4s}) {mark} "
+        f"{cell.report.elapsed:6.1f}s"
+    )
+
+
+def _cell_worker(bomb_id: str, tool_name: str,
+                 metrics_path: str | None) -> CellResult:
+    """Evaluate one cell in a worker process.
+
+    Any recorder inherited across ``fork`` is dropped first — its sinks
+    write to the parent's file descriptors.  When the parent session has
+    a recorder, the worker records to its own JSONL stream (with raw
+    histogram values) at *metrics_path*; the parent absorbs it after the
+    cell completes, so merged stage timings stay exact.
+    """
+    obs.uninstall()
+    bomb = get_bomb(bomb_id)
+    if metrics_path is None:
+        return run_cell(bomb, tool_name)
+    recorder = obs.Recorder(sinks=[obs.JsonlSink(metrics_path)],
+                            hist_values=True)
+    with obs.recording(recorder):
+        return run_cell(bomb, tool_name)
+
+
+def _run_table2_parallel(bomb_ids: tuple[str, ...], tools: tuple[str, ...],
+                         verbose: bool, jobs: int) -> Table2Result:
+    """Fan the (bomb, tool) cell matrix out over worker processes.
+
+    Cells are independent, so only the fan-out/merge order matters for
+    reproducibility: results are collected and reported in submission
+    order, which makes the outcome matrix (and the rendered/JSON output)
+    byte-identical to a serial run.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+    from pathlib import Path
+
+    from ..obs import read_events
+
+    recorder = obs.active()
+    pairs = [(b, t) for b in bomb_ids for t in tools]
+    tmpdir = tempfile.mkdtemp(prefix="repro-table2-") if recorder else None
+    result = Table2Result()
+    try:
+        with obs.span("table2", jobs=jobs, cells=len(pairs)):
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pairs))
+            ) as pool:
+                futures = []
+                for i, (bomb_id, tool_name) in enumerate(pairs):
+                    path = (str(Path(tmpdir) / f"cell-{i}.jsonl")
+                            if tmpdir else None)
+                    futures.append(
+                        (path, pool.submit(_cell_worker, bomb_id,
+                                           tool_name, path))
+                    )
+                for path, future in futures:
+                    cell = future.result()
+                    result.add(cell)
+                    obs.count("eval.cells_merged")
+                    if path is not None:
+                        recorder.absorb(read_events(path))
+                    if verbose:
+                        _print_cell(cell)
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    return result
+
+
 def run_table2(
     bomb_ids: tuple[str, ...] = TABLE2_BOMB_IDS,
     tools: tuple[str, ...] = TOOL_COLUMNS,
     verbose: bool = False,
+    jobs: int | None = None,
 ) -> Table2Result:
-    """Run the full (or a sliced) Table II evaluation."""
+    """Run the full (or a sliced) Table II evaluation.
+
+    *jobs* > 1 evaluates the independent (bomb, tool) cells on a
+    process pool; the default serial path is byte-identical to previous
+    releases, and a parallel run produces the same outcome matrix.
+    """
+    if jobs is not None and jobs > 1:
+        return _run_table2_parallel(tuple(bomb_ids), tuple(tools),
+                                    verbose, jobs)
     result = Table2Result()
     for bomb_id in bomb_ids:
         bomb = get_bomb(bomb_id)
@@ -155,12 +240,7 @@ def run_table2(
             cell = run_cell(bomb, tool_name)
             result.add(cell)
             if verbose:
-                mark = {True: "=", False: "!", None: " "}[cell.matches_paper]
-                print(
-                    f"{bomb_id:20s} {tool_name:12s} {cell.label:4s} "
-                    f"(paper {cell.expected or '-':4s}) {mark} "
-                    f"{cell.report.elapsed:6.1f}s"
-                )
+                _print_cell(cell)
     return result
 
 

@@ -116,7 +116,7 @@ class Recorder:
     """
 
     def __init__(self, sinks=(), wall_clock=time.perf_counter,
-                 cpu_clock=time.process_time):
+                 cpu_clock=time.process_time, hist_values: bool = False):
         self.sinks = list(sinks)
         self.counters: dict[str, int] = {}
         self.hists: dict[str, list[float]] = {}
@@ -125,6 +125,11 @@ class Recorder:
         self._wall_clock = wall_clock
         self._cpu_clock = cpu_clock
         self._closed = False
+        #: Include raw observations in flushed ``hist`` events, so a
+        #: parent recorder can :meth:`absorb` the stream exactly (the
+        #: summary alone cannot be merged losslessly).  Off by default —
+        #: it grows the event stream by one float per observation.
+        self.hist_values = hist_values
 
     # -- instrumentation points ------------------------------------------
 
@@ -196,6 +201,35 @@ class Recorder:
             },
         }
 
+    # -- merging -----------------------------------------------------------
+
+    def absorb(self, events: list[dict]) -> None:
+        """Merge another recorder's flushed event stream into this one.
+
+        The parallel evaluation harness records each worker process to
+        its own JSONL stream and folds them back into the session
+        recorder with this method: span events update ``span_stats``
+        and are re-emitted verbatim to this recorder's sinks (so a
+        ``--metrics-out`` file still carries every per-cell event);
+        ``counter`` summaries add into the counters; ``hist`` events
+        replay their raw ``values`` into the histograms (streams from a
+        recorder without ``hist_values`` merge counters and spans only).
+        """
+        for event in events:
+            kind = event.get("t")
+            if kind == "span":
+                stat = self.span_stats.setdefault(
+                    event["name"], {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                stat["count"] += 1
+                stat["wall_s"] += event.get("wall_s", 0.0)
+                stat["cpu_s"] += event.get("cpu_s", 0.0)
+                self.emit(event)
+            elif kind == "counter":
+                self.count(event["name"], event["value"])
+            elif kind == "hist":
+                for value in event.get("values", ()):
+                    self.observe(event["name"], value)
+
     # -- lifecycle ---------------------------------------------------------
 
     def flush(self) -> None:
@@ -206,8 +240,11 @@ class Recorder:
             self.emit({"t": "counter", "name": name,
                        "value": self.counters[name]})
         for name in sorted(self.hists):
-            self.emit({"t": "hist", "name": name,
-                       **self._hist_summary(self.hists[name])})
+            event = {"t": "hist", "name": name,
+                     **self._hist_summary(self.hists[name])}
+            if self.hist_values:
+                event["values"] = list(self.hists[name])
+            self.emit(event)
 
     def close(self) -> None:
         if self._closed:

@@ -245,15 +245,26 @@ class SatSolver:
 
     # -- main loop ------------------------------------------------------------------
 
-    def solve(self) -> list[int] | None:
+    def solve(self, assumptions: list[int] | None = None) -> list[int] | None:
         """Solve; returns a model (var -> 0/1 list) or None if UNSAT.
 
-        Raises :class:`SolverError` when the conflict budget is exhausted.
+        Raises :class:`SolverError` when the conflict budget is exhausted
+        (counted per call, so a persistent solver gets a fresh budget
+        each query).
 
         The solver may be re-invoked after :meth:`add_clause` calls (e.g.
         blocking clauses for model enumeration); it restarts from the
         root decision level with all learnt clauses retained.
+
+        *assumptions* are literals enqueued as pseudo-decisions (MiniSat
+        style: one decision level per assumption, installed before any
+        real decision).  A conflict that depends on them yields ``None``
+        without poisoning the instance — the next call, under different
+        assumptions, sees all learnt clauses and VSIDS activity from
+        this one.  On return the solver is backtracked to level 0, so
+        clauses may be added and the solver re-queried freely.
         """
+        assumptions = list(assumptions or [])
         self._backtrack(0)
         self.qhead = 0  # re-propagate the root trail over any new clauses
         if not self._ok:
@@ -277,6 +288,8 @@ class SatSolver:
                 if self._decision_level() == 0:
                     return None
                 learnt, back_level = self._analyze(conflict)
+                # Backtracking below the assumption prefix is fine: the
+                # decision loop re-installs the missing assumptions.
                 self._backtrack(back_level)
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], -1):
@@ -298,9 +311,25 @@ class SatSolver:
                 self.restarts += 1
                 self._backtrack(0)
                 continue
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                value = self._lit_value(lit)
+                if value == 0:
+                    # Assumption contradicts the current (learnt) state:
+                    # UNSAT under these assumptions only.
+                    self._backtrack(0)
+                    return None
+                self.trail_lim.append(len(self.trail))
+                if value == UNASSIGNED:
+                    self._enqueue(lit, -1)
+                # Already-true assumptions still get a (dummy) level so
+                # that level index == assumption index stays invariant.
+                continue
             lit = self._decide()
             if lit == -1:
-                return [1 if v == 1 else 0 for v in self.values]
+                model = [1 if v == 1 else 0 for v in self.values]
+                self._backtrack(0)
+                return model
             self.decisions += 1
             self.trail_lim.append(len(self.trail))
             self._enqueue(lit, -1)

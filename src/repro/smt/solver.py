@@ -59,7 +59,7 @@ class Solver:
             self.add(expr)
 
     def clone(self) -> "Solver":
-        other = Solver(self.max_conflicts, self.max_clauses)
+        other = Solver(self.max_conflicts, self.max_clauses, self.max_nodes)
         other.constraints = list(self.constraints)
         return other
 
@@ -143,6 +143,190 @@ class Solver:
     def conjunction(self, extra: list[Expr] | None = None) -> Expr:
         """The asserted constraints as a single boolean expression."""
         return mk_bool_and(*(self.constraints + list(extra or [])))
+
+
+class IncrementalSolver:
+    """Incremental satisfiability over a growing path prefix.
+
+    Keeps one persistent :class:`SatSolver` + :class:`BitBlaster` pair
+    alive across queries.  Prefix constraints added with
+    :meth:`assert_expr` are Tseitin-encoded exactly once (the blaster's
+    cache is keyed by interned-node ``id``, so shared subterms are also
+    shared across queries) and asserted as permanent unit clauses.  Each
+    :meth:`check` encodes only the *extra* constraints, guards them
+    behind a fresh activation literal, and answers via
+    ``SatSolver.solve(assumptions=[activation])`` — learnt clauses and
+    VSIDS activity carry over from query to query.  After the query the
+    activation literal is permanently negated, retiring the extra
+    constraints while keeping every clause learnt under them sound.
+
+    Budget/staging semantics deliberately mirror :class:`Solver.check`
+    query for query (constant short-circuits, interval presolve, the
+    ``max_nodes`` guard, sticky encode errors), so driving the concolic
+    engine with either solver yields the same outcomes.
+    """
+
+    def __init__(self, max_conflicts: int = 100_000, max_clauses: int = 1_500_000,
+                 max_nodes: int | None = None):
+        self.max_conflicts = max_conflicts
+        self.max_clauses = max_clauses
+        self.max_nodes = max_nodes
+        self.queries = 0
+        self._sat: SatSolver | None = None
+        self._blaster: BitBlaster | None = None
+        #: Non-constant prefix constraints, in assertion order; the
+        #: first ``_encoded`` of them are already in the SAT instance.
+        self._prefix: list[Expr] = []
+        self._encoded = 0
+        self._prefix_nodes = 0
+        self._prefix_false = False
+        #: First encode failure over the prefix (fp theory, symbolic
+        #: divisor, depth): re-raised verbatim on every later query,
+        #: matching the one-shot solver re-hitting it per query.
+        self._encode_error: str | None = None
+        # Stat snapshots so the observability counters report per-query
+        # deltas even though the underlying instance accumulates.
+        self._last_conflicts = 0
+        self._last_decisions = 0
+        self._last_restarts = 0
+        self._last_gates = 0
+
+    # -- prefix ------------------------------------------------------------
+
+    def assert_expr(self, expr: Expr) -> None:
+        """Permanently assert a width-1 constraint (lazily encoded)."""
+        if expr.width != 1:
+            raise SolverError("constraints must be width 1")
+        if expr.is_const:
+            if not expr.value:
+                self._prefix_false = True
+            return
+        self._prefix.append(expr)
+        self._prefix_nodes += expr.size()
+
+    def extend(self, exprs) -> None:
+        for expr in exprs:
+            self.assert_expr(expr)
+
+    # -- queries -----------------------------------------------------------
+
+    def check(self, extra: list[Expr] | Expr | None = None) -> CheckResult:
+        """Check the asserted prefix plus *extra* (this query only).
+
+        Raises :class:`SolverError` exactly where :meth:`Solver.check`
+        would: budget exhaustion or an unsupported theory anywhere in
+        prefix + extra.
+        """
+        if isinstance(extra, Expr):
+            extra = [extra]
+        self.queries += 1
+        if obs.active() is None:
+            return self._check(list(extra or []))
+        t0 = time.perf_counter()
+        status = "error"
+        try:
+            result = self._check(list(extra or []))
+            status = result.status
+            return result
+        finally:
+            obs.count("smt.queries")
+            obs.count(f"smt.{status}")
+            obs.observe("smt.solve_s", time.perf_counter() - t0)
+
+    def _check(self, extra: list[Expr]) -> CheckResult:
+        if self._prefix_false:
+            return CheckResult("unsat")
+        pending: list[Expr] = []
+        for expr in extra:
+            if expr.width != 1:
+                raise SolverError("constraints must be width 1")
+            if expr.is_const:
+                if not expr.value:
+                    return CheckResult("unsat")
+                continue
+            pending.append(expr)
+        if not self._prefix and not pending:
+            return CheckResult("sat", {})
+        from .intervals import presolve_unsat
+
+        if presolve_unsat(self._prefix + pending):
+            return CheckResult("unsat")
+        if self.max_nodes is not None:
+            total = self._prefix_nodes + sum(e.size() for e in pending)
+            if total > self.max_nodes:
+                raise SolverError(
+                    f"constraint model too large ({total} nodes > {self.max_nodes})"
+                )
+        obs.count("smt.assumption_queries")
+        sat, blaster = self._materialize()
+        try:
+            bits: list[int] = []
+            try:
+                for expr in pending:
+                    bits.append(blaster.blast(expr)[0])
+            except RecursionError:
+                raise SolverError("formula too deep to encode") from None
+            assumptions: list[int] = []
+            activation = None
+            if bits:
+                activation = sat.new_var() * 2
+                for lit in bits:
+                    sat.add_clause([activation ^ 1, lit])
+                assumptions.append(activation)
+            model = sat.solve(assumptions)
+            if activation is not None:
+                # Retire this query's constraints for good; clauses
+                # learnt under the activation stay sound (they contain
+                # its negation and are now satisfied).
+                sat.add_clause([activation ^ 1])
+        finally:
+            self._report_stats()
+        if model is None:
+            return CheckResult("unsat")
+        return CheckResult("sat", blaster.extract_model(model))
+
+    # -- internals ---------------------------------------------------------
+
+    def _materialize(self) -> tuple[SatSolver, BitBlaster]:
+        """Encode any still-pending prefix constraints, exactly once."""
+        if self._sat is None:
+            self._sat = SatSolver(self.max_conflicts, self.max_clauses)
+            self._blaster = BitBlaster(self._sat)
+        if self._encode_error is not None:
+            raise SolverError(self._encode_error)
+        obs.count("smt.prefix_reuse", self._encoded)
+        while self._encoded < len(self._prefix):
+            expr = self._prefix[self._encoded]
+            try:
+                try:
+                    self._blaster.assert_true(expr)
+                except RecursionError:
+                    raise SolverError("formula too deep to encode") from None
+            except SolverError as err:
+                self._encode_error = str(err)
+                raise
+            self._encoded += 1
+        return self._sat, self._blaster
+
+    def _report_stats(self) -> None:
+        sat, blaster = self._sat, self._blaster
+        conflicts = sat.conflicts - self._last_conflicts
+        decisions = sat.decisions - self._last_decisions
+        restarts = sat.restarts - self._last_restarts
+        gates = blaster.gates - self._last_gates
+        self._last_conflicts = sat.conflicts
+        self._last_decisions = sat.decisions
+        self._last_restarts = sat.restarts
+        self._last_gates = blaster.gates
+        rec = obs.active()
+        if rec is None:
+            return
+        rec.count("smt.conflicts", conflicts)
+        rec.count("smt.decisions", decisions)
+        rec.count("smt.restarts", restarts)
+        rec.observe("smt.clauses", len(sat.clauses))
+        rec.count("smt.gates", gates)
+        rec.observe("smt.gates_per_query", gates)
 
 
 def report_sat_stats(sat: SatSolver, blaster: BitBlaster | None = None) -> None:
