@@ -207,14 +207,100 @@ def cmd_table2(args) -> int:
     tools = tuple(args.tools) if args.tools else TOOL_COLUMNS
     if args.jobs is not None and args.jobs < 1:
         raise SystemExit("table2: --jobs must be >= 1")
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("table2: --timeout must be > 0 seconds")
     with _metrics(args, want=args.json):
         result = run_table2(bomb_ids=bombs, tools=tools,
-                            verbose=not args.json, jobs=args.jobs)
+                            verbose=not args.json, jobs=args.jobs,
+                            timeout=args.timeout, cache=args.cache)
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
+    else:
+        print()
+        print(render_table2(result))
+    if args.check:
+        mismatches = result.mismatches()
+        for cell in mismatches:
+            print(f"check: {cell.bomb_id}/{cell.tool} observed "
+                  f"{cell.label}, paper says {cell.expected}",
+                  file=sys.stderr)
+        if mismatches:
+            print(f"check: {len(mismatches)} cell(s) deviate from the "
+                  "paper's Table II", file=sys.stderr)
+            return 1
+        print("check: all labelled cells match the paper", file=sys.stderr)
+    return 0
+
+
+# -- campaign service -------------------------------------------------------
+
+def _campaign_service(args):
+    from .service import CampaignService
+
+    return CampaignService(args.root)
+
+
+def cmd_campaign_submit(args) -> int:
+    from .bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS
+    from .service import CampaignSpec
+
+    if args.jobs < 1:
+        raise SystemExit("campaign: --jobs must be >= 1")
+    service = _campaign_service(args)
+    spec = CampaignSpec(
+        bombs=tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS,
+        tools=tuple(args.tools) if args.tools else TOOL_COLUMNS,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        name=args.name or "",
+    )
+    cid = service.submit(spec)
+    print(f"submitted {cid}: {len(spec.bombs)} bombs x {len(spec.tools)} "
+          f"tools = {len(spec.cells())} cells")
+    if args.run:
+        with _metrics(args):
+            report = service.run(cid)
+        print(report.summary())
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    service = _campaign_service(args)
+    with _metrics(args):
+        report = service.run(args.campaign, jobs=args.jobs)
+    print(report.summary())
+    return 0
+
+
+def cmd_campaign_status(args) -> int:
+    service = _campaign_service(args)
+    if args.campaign is None:
+        cids = service.campaigns()
+        if not cids:
+            print(f"{args.root}: no campaigns")
+            return 0
+        for cid in cids:
+            status = service.status(cid)
+            states = status["states"]
+            print(f"{cid:24s} cells={status['cells']:4d} "
+                  f"pending={states['pending']:4d} "
+                  f"done={states['done']:4d} "
+                  f"exhausted={states['exhausted']:4d}")
         return 0
-    print()
-    print(render_table2(result))
+    print(json.dumps(service.status(args.campaign), indent=2))
+    return 0
+
+
+def cmd_campaign_results(args) -> int:
+    from .eval import render_table2
+
+    service = _campaign_service(args)
+    result = service.results(args.campaign)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(render_table2(result))
     return 0
 
 
@@ -292,12 +378,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, metavar="N",
                    help="evaluate cells on N worker processes "
                         "(default: serial, byte-identical output)")
+    p.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-cell wall-clock budget; an overrun kills the "
+                        "cell's worker and classifies the cell E")
+    p.add_argument("--cache", metavar="DIR",
+                   help="serve unchanged cells from the content-addressed "
+                        "result store at DIR (created on first use)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero when any cell label deviates from "
+                        "the paper's Table II (CI gate)")
     p.add_argument("--json", action="store_true",
                    help="emit the matrix as JSON (outcome, expected, "
                         "matches_paper, per-stage timings)")
     p.add_argument("--metrics-out", metavar="FILE.jsonl",
                    help="stream observability events to FILE (JSONL)")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable analysis campaigns (submit/run/status/results)")
+    camp = p.add_subparsers(dest="verb", required=True)
+
+    c = camp.add_parser("submit", help="persist a campaign and enqueue "
+                                       "its (bomb, tool) cells")
+    c.add_argument("--root", default=".repro-service", metavar="DIR",
+                   help="service root (store + campaign journals); "
+                        "default ./.repro-service")
+    c.add_argument("--bombs", nargs="*")
+    c.add_argument("--tools", nargs="*")
+    c.add_argument("--jobs", type=int, default=1, metavar="N")
+    c.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-cell wall-clock budget (overruns become E)")
+    c.add_argument("--retries", type=int, default=2, metavar="K",
+                   help="crash retries per cell before it is "
+                        "classified E (default 2)")
+    c.add_argument("--name", metavar="LABEL")
+    c.add_argument("--run", action="store_true",
+                   help="drive the campaign to completion immediately")
+    c.add_argument("--metrics-out", metavar="FILE.jsonl")
+    c.set_defaults(func=cmd_campaign_submit)
+
+    c = camp.add_parser("run", help="drive a submitted campaign to "
+                                    "completion (resumable)")
+    c.add_argument("campaign")
+    c.add_argument("--root", default=".repro-service", metavar="DIR")
+    c.add_argument("--jobs", type=int, metavar="N",
+                   help="override the spec's worker count")
+    c.add_argument("--metrics-out", metavar="FILE.jsonl")
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = camp.add_parser("status", help="queue-level progress (no "
+                                       "execution)")
+    c.add_argument("campaign", nargs="?")
+    c.add_argument("--root", default=".repro-service", metavar="DIR")
+    c.set_defaults(func=cmd_campaign_status)
+
+    c = camp.add_parser("results", help="render a campaign's matrix "
+                                        "from the result store")
+    c.add_argument("campaign")
+    c.add_argument("--root", default=".repro-service", metavar="DIR")
+    c.add_argument("--json", action="store_true")
+    c.set_defaults(func=cmd_campaign_results)
 
     p = sub.add_parser("stats", help="summarize a --metrics-out JSONL file")
     p.add_argument("metrics", help="path to a FILE.jsonl event stream")

@@ -8,6 +8,9 @@ rather than being scripted per bomb.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 
@@ -83,3 +86,14 @@ class ToolPolicy:
     max_queries: int = 48
     #: Wall-clock cap per analysis (the paper's 10-minute timeout analog).
     time_limit: float = 120.0
+
+    def fingerprint(self) -> str:
+        """Stable digest of every capability switch and budget.
+
+        Any change to the policy (a flipped capability, a raised budget)
+        changes the digest, which invalidates the campaign service's
+        cached cell results for this tool.
+        """
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()

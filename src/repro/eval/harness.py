@@ -5,6 +5,13 @@ compares each cell against the paper's reported label; ``run_cell``
 evaluates a single (bomb, tool) pair.  Results carry both the observed
 outcome and the agreement with the paper, so EXPERIMENTS.md and the
 benchmark suite can report paper-vs-measured per cell.
+
+Cell execution can delegate to the campaign service
+(:mod:`repro.service`): ``run_cell(..., timeout=)`` runs the cell in a
+killable worker process so a stuck tool maps to ``E`` instead of
+hanging the harness, and ``run_table2(..., cache=, timeout=)`` routes
+cells through the content-addressed result store and the fault-tolerant
+executor.
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ class CellResult:
     timings: dict[str, float] = field(default_factory=dict)
     #: The root-cause diagnostic behind a non-OK label, as text.
     diagnostic: str | None = None
+    #: True when the ``E`` label was synthesized by the campaign service
+    #: (wall-clock timeout, worker crashed on every retry) rather than
+    #: observed from the tool itself.  Such cells depend on the run's
+    #: timeout/retry settings and are never written to the result cache.
+    infra_failure: bool = False
 
     @property
     def label(self) -> str:
@@ -98,6 +110,12 @@ class Table2Result:
         labelled = [c for c in self.cells.values() if c.expected is not None]
         return sum(1 for c in labelled if c.matches_paper), len(labelled)
 
+    def mismatches(self) -> list[CellResult]:
+        """Labelled cells whose observed outcome differs from the paper
+        (the ``table2 --check`` CI gate), in matrix order."""
+        return [cell for _, cell in sorted(self.cells.items())
+                if cell.matches_paper is False]
+
     def to_json(self) -> dict:
         """JSON-serializable form for ``repro table2 --json``."""
         matched, labelled = self.agreement()
@@ -111,8 +129,19 @@ class Table2Result:
         }
 
 
-def run_cell(bomb: Bomb, tool_name: str) -> CellResult:
-    """Evaluate one (bomb, tool) pair."""
+def run_cell(bomb: Bomb, tool_name: str,
+             timeout: float | None = None) -> CellResult:
+    """Evaluate one (bomb, tool) pair.
+
+    With *timeout* (wall-clock seconds) the cell runs in a killable
+    worker process via the campaign service: an overrun is classified
+    ``E`` with a ``resource-exhausted`` diagnostic instead of hanging
+    the caller.
+    """
+    if timeout is not None:
+        from ..service.executor import run_cell_isolated
+
+        return run_cell_isolated(bomb, tool_name, timeout)
     tool = get_tool(tool_name)
     with obs.span("cell", bomb=bomb.bomb_id, tool=tool_name) as sp:
         report = tool.analyze_bomb(bomb)
@@ -223,21 +252,47 @@ def run_table2(
     tools: tuple[str, ...] = TOOL_COLUMNS,
     verbose: bool = False,
     jobs: int | None = None,
+    timeout: float | None = None,
+    cache=None,
 ) -> Table2Result:
     """Run the full (or a sliced) Table II evaluation.
 
     *jobs* > 1 evaluates the independent (bomb, tool) cells on a
     process pool; the default serial path is byte-identical to previous
     releases, and a parallel run produces the same outcome matrix.
+
+    *cache* (a :class:`repro.service.ResultStore` or a directory path)
+    serves unchanged cells from the content-addressed store and stores
+    fresh ones; *timeout* caps each cell's wall clock, mapping overruns
+    to ``E``.  Either option routes parallel runs through the campaign
+    service's fault-tolerant executor instead of the plain process
+    pool.
     """
+    store = None
+    if cache is not None:
+        from ..service.store import ResultStore
+
+        store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
     if jobs is not None and jobs > 1:
-        return _run_table2_parallel(tuple(bomb_ids), tuple(tools),
-                                    verbose, jobs)
+        if store is None and timeout is None:
+            return _run_table2_parallel(tuple(bomb_ids), tuple(tools),
+                                        verbose, jobs)
+        from ..service.executor import execute_matrix
+
+        return execute_matrix(tuple(bomb_ids), tuple(tools), jobs=jobs,
+                              timeout=timeout, store=store, verbose=verbose)
+    from ..service.fingerprint import cell_key
+
     result = Table2Result()
     for bomb_id in bomb_ids:
         bomb = get_bomb(bomb_id)
         for tool_name in tools:
-            cell = run_cell(bomb, tool_name)
+            key = cell_key(bomb, tool_name) if store is not None else None
+            cell = store.get(key, bomb) if store is not None else None
+            if cell is None:
+                cell = run_cell(bomb, tool_name, timeout=timeout)
+                if store is not None and not cell.infra_failure:
+                    store.put(key, cell)
             result.add(cell)
             if verbose:
                 _print_cell(cell)

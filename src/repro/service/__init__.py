@@ -1,0 +1,60 @@
+"""Campaign service: durable queue, fault-tolerant workers, result cache.
+
+Turns the one-shot Table II harness into a durable analysis service:
+
+* :mod:`~repro.service.fingerprint` — content addresses: a cell result
+  is keyed by (REXF image digest, tool capability fingerprint, harness
+  policy fingerprint);
+* :mod:`~repro.service.store` — the content-addressed
+  :class:`ResultStore` (atomic writes, schema-versioned documents);
+* :mod:`~repro.service.queue` — the durable :class:`JobQueue` (JSONL
+  journal with claim/complete records, crash recovery on replay);
+* :mod:`~repro.service.executor` — the fault-tolerant
+  :class:`CellExecutor` (per-cell wall-clock timeouts, crash requeue
+  with backoff, bounded retries, exact metrics absorption);
+* :mod:`~repro.service.campaign` — the :class:`CampaignService` client
+  API behind ``repro campaign submit/run/status/results``.
+"""
+
+from .campaign import CampaignReport, CampaignService, CampaignSpec
+from .executor import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
+    KILL_CELL_ENV,
+    CellExecutor,
+    execute_matrix,
+    infrastructure_failure_cell,
+    run_cell_isolated,
+)
+from .fingerprint import (
+    CACHE_SCHEMA,
+    bomb_fingerprint,
+    cell_key,
+    harness_fingerprint,
+    image_digest,
+)
+from .queue import Job, JobQueue
+from .store import ResultStore, decode_cell, encode_cell
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CampaignReport",
+    "CampaignService",
+    "CampaignSpec",
+    "CellExecutor",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "Job",
+    "JobQueue",
+    "KILL_CELL_ENV",
+    "ResultStore",
+    "bomb_fingerprint",
+    "cell_key",
+    "decode_cell",
+    "encode_cell",
+    "execute_matrix",
+    "harness_fingerprint",
+    "image_digest",
+    "infrastructure_failure_cell",
+    "run_cell_isolated",
+]

@@ -1,0 +1,196 @@
+"""Campaign client API: submit / run / status / results.
+
+A *campaign* is a persisted evaluation request — bomb subset × tool
+subset plus execution policy (worker count, per-cell timeout, crash
+retries).  The service root is a directory::
+
+    <root>/store/                     shared content-addressed result store
+    <root>/campaigns/<cid>/spec.json  the campaign spec
+    <root>/campaigns/<cid>/queue.jsonl  durable job journal
+
+The store is shared by every campaign under the root, so re-submitting
+an identical workload (a fresh campaign id) performs **zero** tool
+analyses: every cell is served from the store and the Table II output
+is byte-identical to the cold run.  Killing the driver (or a worker)
+mid-campaign never loses or duplicates a cell: the journal's
+claim/complete records replay on the next ``run``.
+
+Campaign ids are content-derived (``c<digest8>`` of the workload) with
+a numeric suffix per submission, so ``submit`` is cheap to script and
+``status``/``results`` address any past submission.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import obs
+from ..bombs import get_bomb
+from .executor import DEFAULT_RETRIES, CellExecutor
+from .fingerprint import cell_key
+from .queue import JobQueue
+from .store import ResultStore
+
+
+@dataclass
+class CampaignSpec:
+    """One analysis workload: the cell matrix plus execution policy."""
+
+    bombs: tuple[str, ...]
+    tools: tuple[str, ...]
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = DEFAULT_RETRIES
+    name: str = ""
+
+    def cells(self) -> list[tuple[str, str]]:
+        return [(b, t) for b in self.bombs for t in self.tools]
+
+    def workload_digest(self) -> str:
+        payload = json.dumps({"bombs": list(self.bombs),
+                              "tools": list(self.tools)},
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_json(self) -> dict:
+        return {
+            "bombs": list(self.bombs),
+            "tools": list(self.tools),
+            "jobs": self.jobs,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CampaignSpec":
+        return cls(
+            bombs=tuple(doc["bombs"]),
+            tools=tuple(doc["tools"]),
+            jobs=doc.get("jobs", 1),
+            timeout=doc.get("timeout"),
+            retries=doc.get("retries", DEFAULT_RETRIES),
+            name=doc.get("name", ""),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one ``run``: the matrix plus executor statistics."""
+
+    campaign_id: str
+    table: object  # Table2Result
+    stats: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"campaign {self.campaign_id}: cells={s.get('cells', 0)} "
+            f"cache_hits={s.get('cache_hits', 0)} "
+            f"computed={s.get('computed', 0)} "
+            f"timeouts={s.get('timeouts', 0)} "
+            f"requeued={s.get('requeued', 0)} "
+            f"exhausted={s.get('exhausted', 0)}"
+        )
+
+
+class CampaignService:
+    """Filesystem-rooted campaign service (the client API)."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.store = ResultStore(self.root / "store")
+        self._campaigns_dir = self.root / "campaigns"
+        self._campaigns_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- verbs -----------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> str:
+        """Persist *spec*, enqueue its cells, return the campaign id."""
+        base = f"c{spec.workload_digest()[:8]}"
+        seq = 1
+        while (self._campaigns_dir / f"{base}-{seq}").exists():
+            seq += 1
+        cid = f"{base}-{seq}"
+        cdir = self._campaigns_dir / cid
+        cdir.mkdir(parents=True)
+        (cdir / "spec.json").write_text(
+            json.dumps(spec.to_json(), indent=2) + "\n", encoding="utf-8")
+        with JobQueue(cdir / "queue.jsonl") as queue:
+            queue.submit(spec.cells())
+        obs.count("service.campaigns_submitted")
+        return cid
+
+    def run(self, cid: str, jobs: int | None = None) -> CampaignReport:
+        """Drive the campaign's queue to completion (resumable)."""
+        from ..eval.harness import Table2Result
+
+        spec = self.spec(cid)
+        result = Table2Result()
+        with obs.span("campaign", id=cid):
+            with JobQueue(self._campaign_dir(cid) / "queue.jsonl") as queue:
+                executor = CellExecutor(
+                    queue,
+                    jobs=jobs if jobs is not None else spec.jobs,
+                    timeout=spec.timeout,
+                    retries=spec.retries,
+                    store=self.store,
+                )
+                stats = executor.run(result.add)
+        return CampaignReport(campaign_id=cid, table=result, stats=stats)
+
+    def status(self, cid: str) -> dict:
+        """Queue-level progress snapshot (does not execute anything)."""
+        spec = self.spec(cid)
+        with JobQueue(self._campaign_dir(cid) / "queue.jsonl") as queue:
+            counts = queue.counts()
+            results: dict[str, int] = {}
+            for job in queue.ordered_jobs():
+                if job.result is not None:
+                    results[job.result] = results.get(job.result, 0) + 1
+        return {
+            "campaign": cid,
+            "name": spec.name,
+            "cells": len(spec.cells()),
+            "states": counts,
+            "results": results,
+        }
+
+    def results(self, cid: str):
+        """Assemble the campaign's matrix from the shared store.
+
+        Cells not (yet) in the store are simply absent from the result
+        — ``render_table2`` shows them as ``?``.
+        """
+        from ..eval.harness import Table2Result
+
+        spec = self.spec(cid)
+        result = Table2Result()
+        for bomb_id, tool in spec.cells():
+            bomb = get_bomb(bomb_id)
+            cell = self.store.get(cell_key(bomb, tool), bomb)
+            if cell is not None:
+                result.add(cell)
+        return result
+
+    # -- helpers ---------------------------------------------------------
+
+    def campaigns(self) -> list[str]:
+        return sorted(p.name for p in self._campaigns_dir.iterdir()
+                      if (p / "spec.json").exists())
+
+    def spec(self, cid: str) -> CampaignSpec:
+        path = self._campaign_dir(cid) / "spec.json"
+        return CampaignSpec.from_json(
+            json.loads(path.read_text(encoding="utf-8")))
+
+    def _campaign_dir(self, cid: str) -> Path:
+        cdir = self._campaigns_dir / cid
+        if not cdir.exists():
+            raise KeyError(f"unknown campaign {cid!r}; "
+                           f"known: {self.campaigns()}")
+        return cdir

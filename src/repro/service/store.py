@@ -1,0 +1,177 @@
+"""Content-addressed result store for Table II cells.
+
+Layout (under the store root)::
+
+    objects/<k[:2]>/<key>.json     one JSON document per cell result
+
+Each document carries the full :class:`~repro.eval.harness.CellResult`
+— outcome, per-stage timings, root-cause diagnostic, and the complete
+:class:`~repro.tools.api.ToolReport` including the diagnostic log, the
+validated solution bytes and any solution environment — so a cache hit
+is indistinguishable from a fresh run (``table2 --json`` renders byte
+for byte the same).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed writer can
+never leave a torn object; a document that fails to parse or was stored
+under a different :data:`~repro.service.fingerprint.CACHE_SCHEMA` is
+treated as a miss, not an error.
+
+The paper-expected label is *not* stored: :func:`decode_cell` re-reads
+it from the live bomb, so annotating the dataset never invalidates the
+store (see :mod:`repro.service.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .. import obs
+from ..bombs.suite import Bomb
+from ..errors import Diagnostic, DiagnosticKind, DiagnosticLog, ErrorStage
+from ..eval.harness import CellResult
+from ..tools.api import ToolReport
+from ..vm import Environment
+from .fingerprint import CACHE_SCHEMA, environment_payload
+
+
+def _encode_env(env: Environment | None) -> dict | None:
+    return environment_payload(env)
+
+
+def _decode_env(data: dict | None) -> Environment | None:
+    if data is None:
+        return None
+    return Environment(
+        time_value=data["time_value"],
+        pid=data["pid"],
+        magic=data["magic"],
+        files={path: body.encode("latin1")
+               for path, body in data["files"].items()},
+        network={url: body.encode("latin1")
+                 for url, body in data["network"].items()},
+        stdin=data["stdin"].encode("latin1"),
+    )
+
+
+def _encode_argv(argv: list[bytes] | None) -> list[str] | None:
+    if argv is None:
+        return None
+    return [arg.decode("latin1") for arg in argv]
+
+
+def _decode_argv(data: list[str] | None) -> list[bytes] | None:
+    if data is None:
+        return None
+    return [arg.encode("latin1") for arg in data]
+
+
+def encode_cell(cell: CellResult) -> dict:
+    """Serialize a cell result to a JSON-able document."""
+    report = cell.report
+    return {
+        "schema": CACHE_SCHEMA,
+        "bomb": cell.bomb_id,
+        "tool": cell.tool,
+        "outcome": cell.outcome.value,
+        "timings": dict(cell.timings),
+        "diagnostic": cell.diagnostic,
+        "report": {
+            "solved": report.solved,
+            "solution": _encode_argv(report.solution),
+            "solution_env": _encode_env(report.solution_env),
+            "goal_claimed": report.goal_claimed,
+            "claimed_inputs": [_encode_argv(claim)
+                               for claim in report.claimed_inputs],
+            "diagnostics": [
+                {"kind": d.kind.value, "detail": d.detail, "pc": d.pc}
+                for d in report.diagnostics
+            ],
+            "aborted": report.aborted,
+            "elapsed": report.elapsed,
+            "false_positive": report.false_positive,
+        },
+    }
+
+
+def decode_cell(doc: dict, bomb: Bomb) -> CellResult:
+    """Rebuild a cell result, re-reading the paper label from *bomb*."""
+    rep = doc["report"]
+    report = ToolReport(
+        tool=doc["tool"],
+        bomb_id=doc["bomb"],
+        solved=rep["solved"],
+        solution=_decode_argv(rep["solution"]),
+        solution_env=_decode_env(rep["solution_env"]),
+        goal_claimed=rep["goal_claimed"],
+        claimed_inputs=[_decode_argv(claim) for claim in rep["claimed_inputs"]],
+        diagnostics=DiagnosticLog([
+            Diagnostic(DiagnosticKind(d["kind"]), d["detail"], d["pc"])
+            for d in rep["diagnostics"]
+        ]),
+        aborted=rep["aborted"],
+        elapsed=rep["elapsed"],
+        false_positive=rep["false_positive"],
+    )
+    return CellResult(
+        bomb_id=doc["bomb"],
+        tool=doc["tool"],
+        outcome=ErrorStage(doc["outcome"]),
+        expected=bomb.expected.get(doc["tool"]),
+        report=report,
+        timings=dict(doc["timings"]),
+        diagnostic=doc["diagnostic"],
+    )
+
+
+class ResultStore:
+    """Content-addressed store of cell results on the local filesystem."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._objects.glob("*/*.json"))
+
+    def get(self, key: str, bomb: Bomb) -> CellResult | None:
+        """The stored cell for *key*, or None (counted as hit/miss)."""
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            obs.count("service.cache_misses")
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            obs.count("service.cache_misses")
+            return None
+        obs.count("service.cache_hits")
+        return decode_cell(doc, bomb)
+
+    def put(self, key: str, cell: CellResult) -> None:
+        """Store *cell* under *key* atomically (last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps(encode_cell(cell), sort_keys=True,
+                         separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.cache_stores")

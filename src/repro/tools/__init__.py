@@ -1,6 +1,6 @@
 """Tool configurations and the unified analysis interface."""
 
-from .api import Tool, ToolReport, all_tool_names, get_tool
+from .api import Tool, ToolReport, all_tool_names, capability_fingerprint, get_tool
 from .profiles import ANGRX, ANGRX_NOLIB, BAPX, TRITONX
 
 __all__ = [
@@ -11,5 +11,6 @@ __all__ = [
     "Tool",
     "ToolReport",
     "all_tool_names",
+    "capability_fingerprint",
     "get_tool",
 ]

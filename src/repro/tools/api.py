@@ -9,6 +9,7 @@ paper's acceptance criterion.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -123,3 +124,17 @@ def get_tool(name: str) -> Tool:
 
 def all_tool_names() -> list[str]:
     return sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES)
+
+
+def capability_fingerprint(name: str) -> str:
+    """Stable digest of one tool's full capability matrix.
+
+    Combines the engine family with the policy's own fingerprint, so a
+    profile rename, a family switch, or any capability/budget edit
+    yields a different digest.  The campaign service uses this as the
+    tool component of its content-addressed cache keys: results computed
+    under an older capability matrix are never served for a newer one.
+    """
+    tool = get_tool(name)
+    payload = f"{name}\x00{tool.family}\x00{tool.policy.fingerprint()}"
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,106 @@
+"""CLI surface of the campaign service and the table2 cache/check flags.
+
+Every path drives :func:`repro.cli.main` with an argv list, the same
+entry point the console script uses — so these tests cover argument
+parsing, verb wiring, and exit codes, not just the library API.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro import cli
+
+BOMBS = ["cp_stack", "sv_time"]
+
+
+def run_cli(argv):
+    return cli.main(argv)
+
+
+class TestCampaignVerbs:
+    def test_submit_run_status_results(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--bombs", *BOMBS, "--tools", "tritonx",
+                        "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"submitted (c[0-9a-f]{8}-\d+): "
+                          r"2 bombs x 1 tools = 2 cells", out)
+        assert match, out
+        cid = match.group(1)
+
+        assert run_cli(["campaign", "status", cid, "--root", root]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["states"]["pending"] == 2
+
+        assert run_cli(["campaign", "run", cid, "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert f"campaign {cid}: cells=2" in out
+        assert "computed=2" in out
+
+        assert run_cli(["campaign", "results", cid, "--root", root,
+                        "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {c["bomb"] for c in doc["cells"]} == set(BOMBS)
+
+    def test_submit_with_run_hits_cache_on_resubmission(
+            self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        argv = ["campaign", "submit", "--root", root,
+                "--bombs", *BOMBS, "--tools", "tritonx", "--run"]
+        assert run_cli(argv) == 0
+        assert "computed=2" in capsys.readouterr().out
+        assert run_cli(argv) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=2" in out and "computed=0" in out
+
+    def test_status_without_cid_lists_campaigns(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert run_cli(["campaign", "status", "--root", root]) == 0
+        assert "no campaigns" in capsys.readouterr().out
+        run_cli(["campaign", "submit", "--root", root,
+                 "--bombs", "cp_stack", "--tools", "tritonx"])
+        capsys.readouterr()
+        assert run_cli(["campaign", "status", "--root", root]) == 0
+        listing = capsys.readouterr().out
+        assert "pending=   1" in listing
+
+    def test_submit_rejects_bad_jobs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(["campaign", "submit", "--root", str(tmp_path),
+                     "--jobs", "0"])
+
+
+class TestTable2Flags:
+    def test_check_passes_on_agreement(self, tmp_path, capsys):
+        rc = run_cli(["table2", "--bombs", *BOMBS, "--tools", "tritonx",
+                      "--cache", str(tmp_path / "store"), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "check: all labelled cells match the paper" in captured.err
+
+    def test_check_fails_on_timeout_mismatch(self, capsys):
+        # A 50 ms budget turns cf_aes (paper label Es2, a slow cell)
+        # into E, which deviates from the paper — the CI gate must
+        # catch that.
+        rc = run_cli(["table2", "--bombs", "cf_aes", "--tools", "tritonx",
+                      "--timeout", "0.05", "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "observed E" in captured.err
+        assert "deviate from the paper" in captured.err
+
+    def test_cache_dir_round_trip_is_byte_identical(self, tmp_path, capsys):
+        argv = ["table2", "--bombs", *BOMBS, "--tools", "tritonx",
+                "--cache", str(tmp_path / "store"), "--json"]
+        assert run_cli(argv) == 0
+        first = capsys.readouterr().out
+        assert run_cli(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_timeout_validation(self):
+        with pytest.raises(SystemExit):
+            run_cli(["table2", "--timeout", "0"])

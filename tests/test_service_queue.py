@@ -1,0 +1,99 @@
+"""Durable job queue: journal replay, claim/complete, crash recovery.
+
+The journal contract: every transition is one appended record, opening
+a queue replays the journal, and a job whose driver died after ``claim``
+but before ``done`` reverts to pending with its attempt count intact —
+so a cell is re-run after a crash, never lost, never duplicated.
+"""
+
+from repro.service import JobQueue
+from repro.service.queue import CLAIMED, DONE, EXHAUSTED, PENDING
+
+CELLS = [("cp_stack", "tritonx"), ("cp_stack", "bapx"), ("sv_time", "tritonx")]
+
+
+def test_submit_claim_complete_lifecycle(tmp_path):
+    with JobQueue(tmp_path / "q.jsonl") as queue:
+        jobs = queue.submit(CELLS)
+        assert [j.cell for j in jobs] == CELLS
+        assert queue.depth() == 3
+
+        first = queue.claim("w0")
+        assert first.cell == CELLS[0] and first.status == CLAIMED
+        assert first.attempts == 1
+        queue.complete(first.job_id, result="computed")
+        assert queue.jobs[first.job_id].status == DONE
+        assert queue.counts() == {PENDING: 2, CLAIMED: 0, DONE: 1,
+                                  EXHAUSTED: 0}
+
+
+def test_fifo_order_and_exhaustion(tmp_path):
+    with JobQueue(tmp_path / "q.jsonl") as queue:
+        queue.submit(CELLS)
+        a = queue.claim("w0")
+        b = queue.claim("w1")
+        assert (a.cell, b.cell) == (CELLS[0], CELLS[1])
+        queue.exhaust(a.job_id, reason="worker crashed")
+        assert queue.jobs[a.job_id].status == EXHAUSTED
+        assert queue.jobs[a.job_id].reason == "worker crashed"
+
+
+def test_journal_replay_reconstructs_state(tmp_path):
+    path = tmp_path / "q.jsonl"
+    with JobQueue(path) as queue:
+        queue.submit(CELLS)
+        done = queue.claim("w0")
+        queue.complete(done.job_id, result="cached")
+
+    with JobQueue(path) as reopened:
+        assert reopened.counts() == {PENDING: 2, CLAIMED: 0, DONE: 1,
+                                     EXHAUSTED: 0}
+        assert reopened.jobs[done.job_id].result == "cached"
+        # Remaining jobs are claimable in the original order.
+        nxt = reopened.claim("w0")
+        assert nxt.cell == CELLS[1]
+
+
+def test_crashed_claim_reverts_to_pending_with_attempts(tmp_path):
+    path = tmp_path / "q.jsonl"
+    with JobQueue(path) as queue:
+        queue.submit(CELLS)
+        victim = queue.claim("w0")
+        victim_id = victim.job_id
+        # Driver "dies" here: no done/requeue record is ever written.
+
+    with JobQueue(path) as recovered:
+        job = recovered.jobs[victim_id]
+        assert job.status == PENDING
+        assert job.attempts == 1  # the lost attempt still counts
+        again = recovered.claim("w0")
+        assert again.job_id == victim_id and again.attempts == 2
+
+
+def test_requeue_backoff_gates_claims(tmp_path):
+    with JobQueue(tmp_path / "q.jsonl") as queue:
+        queue.submit(CELLS[:1])
+        job = queue.claim("w0")
+        queue.requeue(job.job_id, reason="worker died", not_before=1000.0)
+        assert queue.claim("w0", now=999.0) is None
+        ready = queue.claim("w0", now=1000.5)
+        assert ready.job_id == job.job_id and ready.attempts == 2
+
+
+def test_torn_trailing_line_is_ignored(tmp_path):
+    path = tmp_path / "q.jsonl"
+    with JobQueue(path) as queue:
+        queue.submit(CELLS)
+    with path.open("a", encoding="utf-8") as fp:
+        fp.write('{"t": "claim", "id": "job-00')  # torn write
+    with JobQueue(path) as reopened:
+        assert reopened.counts()[PENDING] == 3
+
+
+def test_memory_only_queue_without_journal():
+    queue = JobQueue(None)
+    queue.submit(CELLS)
+    assert queue.depth() == 3
+    job = queue.claim("w0")
+    queue.complete(job.job_id)
+    assert queue.counts()[DONE] == 1

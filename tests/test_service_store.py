@@ -1,0 +1,166 @@
+"""Content-addressed result store: keys, round-trips, hit/miss metrics.
+
+The cache-key contract (ISSUE 4): a cell key is a pure function of the
+bomb's compiled image + run context, the tool's capability matrix, and
+the harness/classifier policy.  Editing a bomb source changes its image
+digest — and only that bomb's keys; editing a tool policy changes only
+that tool's keys; the paper's expected labels are *not* part of the key
+and are re-read from the live dataset on decode.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.bombs import get_bomb
+from repro.bombs.suite import Bomb
+from repro.eval import run_cell
+from repro.lang import compile_sources
+from repro.service import (
+    CACHE_SCHEMA,
+    ResultStore,
+    bomb_fingerprint,
+    cell_key,
+    decode_cell,
+    encode_cell,
+    image_digest,
+)
+from repro.tools import capability_fingerprint
+from repro.tools.profiles import TRITONX
+
+
+class EditedBomb(Bomb):
+    """A bomb whose image compiles from an in-test (edited) source."""
+
+    _edited_source: str = ""
+
+    @property
+    def image(self):
+        return compile_sources([(f"{self.bomb_id}.bc", self._edited_source)])
+
+
+def edited_copy(bomb_id: str, extra: str) -> Bomb:
+    """Clone a dataset bomb with *extra* appended inside main()."""
+    from repro.bombs.suite import _SRC_DIR
+
+    base = get_bomb(bomb_id)
+    source = (_SRC_DIR / f"{bomb_id}.bc").read_text()
+    # Inject a live statement at the top of main(), so codegen emits
+    # different bytes.
+    marker = "int main(int argc, char **argv) {"
+    assert marker in source
+    edited = source.replace(marker, marker + "\n    " + extra, 1)
+    clone = EditedBomb(
+        **{f.name: getattr(base, f.name) for f in dataclasses.fields(Bomb)})
+    clone._edited_source = edited
+    return clone
+
+
+class TestCellKeys:
+    def test_key_is_stable_across_calls(self):
+        bomb = get_bomb("cp_stack")
+        assert cell_key(bomb, "tritonx") == cell_key(bomb, "tritonx")
+
+    def test_key_distinguishes_tools_and_bombs(self):
+        bomb = get_bomb("cp_stack")
+        other = get_bomb("sv_time")
+        keys = {cell_key(bomb, "tritonx"), cell_key(bomb, "bapx"),
+                cell_key(other, "tritonx"), cell_key(other, "bapx")}
+        assert len(keys) == 4
+
+    def test_editing_a_bomb_source_changes_only_its_key(self):
+        original = get_bomb("cp_stack")
+        edited = edited_copy("cp_stack", "int service_pad = argc + 40;")
+        assert image_digest(edited.image) != image_digest(original.image)
+        assert bomb_fingerprint(edited) != bomb_fingerprint(original)
+        assert cell_key(edited, "tritonx") != cell_key(original, "tritonx")
+        # An untouched bomb keeps its key.
+        untouched = get_bomb("sv_time")
+        assert cell_key(untouched, "tritonx") == cell_key(untouched, "tritonx")
+
+    def test_capability_edit_changes_the_tool_component(self):
+        relaxed = dataclasses.replace(TRITONX, supports_fp=True)
+        assert relaxed.fingerprint() != TRITONX.fingerprint()
+        # And the tool-level fingerprint folds the family in.
+        assert capability_fingerprint("tritonx") != \
+            capability_fingerprint("bapx")
+
+    def test_expected_labels_are_not_part_of_the_key(self):
+        bomb = get_bomb("cp_stack")
+        relabelled = dataclasses.replace(
+            bomb, expected={t: "E" for t in bomb.expected})
+        assert cell_key(relabelled, "tritonx") == cell_key(bomb, "tritonx")
+
+
+@pytest.fixture(scope="module")
+def solved_cell():
+    return run_cell(get_bomb("cp_stack"), "tritonx")
+
+
+class TestRoundTrip:
+    def test_encode_decode_preserves_everything(self, solved_cell):
+        bomb = get_bomb("cp_stack")
+        doc = json.loads(json.dumps(encode_cell(solved_cell)))
+        clone = decode_cell(doc, bomb)
+        assert clone.outcome is solved_cell.outcome
+        assert clone.expected == solved_cell.expected
+        assert clone.timings == solved_cell.timings
+        assert clone.diagnostic == solved_cell.diagnostic
+        assert clone.report.solved == solved_cell.report.solved
+        assert clone.report.solution == solved_cell.report.solution
+        assert clone.report.elapsed == solved_cell.report.elapsed
+        assert [d.kind for d in clone.report.diagnostics] == \
+            [d.kind for d in solved_cell.report.diagnostics]
+        assert clone.to_json() == solved_cell.to_json()
+
+    def test_decode_rereads_the_paper_label(self, solved_cell):
+        bomb = get_bomb("cp_stack")
+        doc = encode_cell(solved_cell)
+        relabelled = dataclasses.replace(bomb, expected={"tritonx": "Es3"})
+        clone = decode_cell(doc, relabelled)
+        assert clone.expected == "Es3"
+        assert clone.matches_paper is False
+
+    def test_environment_round_trip(self):
+        cell = run_cell(get_bomb("cs_file_name"), "bapx")
+        bomb = get_bomb("cs_file_name")
+        clone = decode_cell(json.loads(json.dumps(encode_cell(cell))), bomb)
+        assert clone.report.diag_kinds() == cell.report.diag_kinds()
+
+
+class TestResultStore:
+    def test_put_get_counts_hits_and_misses(self, tmp_path, solved_cell):
+        bomb = get_bomb("cp_stack")
+        store = ResultStore(tmp_path / "store")
+        key = cell_key(bomb, "tritonx")
+        rec = obs.Recorder()
+        with obs.recording(rec, close=False):
+            assert store.get(key, bomb) is None
+            store.put(key, solved_cell)
+            hit = store.get(key, bomb)
+        assert hit is not None and hit.outcome is solved_cell.outcome
+        counters = rec.snapshot()["counters"]
+        assert counters["service.cache_misses"] == 1
+        assert counters["service.cache_hits"] == 1
+        assert counters["service.cache_stores"] == 1
+        assert len(store) == 1 and key in store
+
+    def test_corrupt_object_is_a_miss(self, tmp_path, solved_cell):
+        bomb = get_bomb("cp_stack")
+        store = ResultStore(tmp_path / "store")
+        key = cell_key(bomb, "tritonx")
+        store.put(key, solved_cell)
+        store._path(key).write_text("{not json", encoding="utf-8")
+        assert store.get(key, bomb) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, solved_cell):
+        bomb = get_bomb("cp_stack")
+        store = ResultStore(tmp_path / "store")
+        key = cell_key(bomb, "tritonx")
+        store.put(key, solved_cell)
+        doc = json.loads(store._path(key).read_text())
+        doc["schema"] = CACHE_SCHEMA + 1
+        store._path(key).write_text(json.dumps(doc), encoding="utf-8")
+        assert store.get(key, bomb) is None
