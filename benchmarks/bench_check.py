@@ -1,0 +1,125 @@
+"""Benchmark regression gate: compare two BENCH_table2.json records.
+
+``bench_table2.py`` writes a cost profile of the full Table II run
+(wall clock, solver counters, per-stage wall, solved counts).  This
+script compares a freshly produced record against the committed
+baseline and fails when the run got materially worse::
+
+    python benchmarks/bench_check.py BASELINE.json CANDIDATE.json \
+        [--wall-tolerance 0.20]
+
+Gates (a *regression* is the bad direction only — getting faster or
+reusing more prefixes never fails):
+
+* ``solved_counts`` and ``agreement`` must match the baseline exactly —
+  a correctness change is never acceptable collateral of a perf change;
+* ``solver.queries`` may not grow by more than the tolerance;
+* ``solver.prefix_reuse`` may not shrink by more than the tolerance;
+* ``wall_s`` may not grow by more than the (separately settable) wall
+  tolerance — CI runners are noisy, so the workflow passes a looser
+  bound than the default.
+
+Exit status 0 when every gate holds, 1 otherwise (one line per
+violation on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default relative tolerance for counter and wall-clock growth.
+TOLERANCE = 0.20
+
+
+def _pct(old: float, new: float) -> str:
+    if old == 0:
+        return "from zero"
+    return f"{(new - old) / old:+.1%}"
+
+
+def compare(baseline: dict, candidate: dict,
+            tolerance: float = TOLERANCE,
+            wall_tolerance: float | None = None) -> list[str]:
+    """The list of regression messages (empty when the candidate is ok)."""
+    wall_tol = wall_tolerance if wall_tolerance is not None else tolerance
+    problems: list[str] = []
+
+    if candidate.get("solved_counts") != baseline.get("solved_counts"):
+        problems.append(
+            "solved_counts changed: "
+            f"{baseline.get('solved_counts')} -> "
+            f"{candidate.get('solved_counts')}")
+    if candidate.get("agreement") != baseline.get("agreement"):
+        problems.append(
+            "agreement changed: "
+            f"{baseline.get('agreement')} -> {candidate.get('agreement')}")
+
+    base_solver = baseline.get("solver", {})
+    cand_solver = candidate.get("solver", {})
+    for key, worse_when in (("queries", "higher"),
+                            ("prefix_reuse", "lower")):
+        old, new = base_solver.get(key), cand_solver.get(key)
+        if old is None or new is None:
+            continue
+        if worse_when == "higher":
+            regressed = new > old * (1 + tolerance)
+        else:
+            regressed = new < old * (1 - tolerance)
+        if regressed:
+            problems.append(
+                f"solver.{key} regressed: {old} -> {new} "
+                f"({_pct(old, new)}, tolerance {tolerance:.0%}, "
+                f"bad direction: {worse_when})")
+
+    old_wall, new_wall = baseline.get("wall_s"), candidate.get("wall_s")
+    if old_wall is not None and new_wall is not None:
+        if new_wall > old_wall * (1 + wall_tol):
+            problems.append(
+                f"wall_s regressed: {old_wall} -> {new_wall} "
+                f"({_pct(old_wall, new_wall)}, tolerance {wall_tol:.0%})")
+
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a Table II benchmark record regressed "
+                    "against the committed baseline")
+    parser.add_argument("baseline", help="committed BENCH_table2.json")
+    parser.add_argument("candidate", help="freshly produced record")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        metavar="FRAC",
+                        help="allowed relative counter growth/shrink "
+                             "(default 0.20)")
+    parser.add_argument("--wall-tolerance", type=float, default=None,
+                        metavar="FRAC",
+                        help="separate wall-clock tolerance (default: "
+                             "same as --tolerance; CI uses a looser "
+                             "bound for runner noise)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        candidate = json.loads(Path(args.candidate).read_text())
+    except (OSError, ValueError) as err:
+        print(f"bench_check: {err}", file=sys.stderr)
+        return 1
+
+    problems = compare(baseline, candidate, tolerance=args.tolerance,
+                       wall_tolerance=args.wall_tolerance)
+    for problem in problems:
+        print(f"bench_check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"bench_check: {len(problems)} regression(s) vs "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    print(f"bench_check: ok ({args.candidate} within tolerance of "
+          f"{args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

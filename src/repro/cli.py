@@ -11,6 +11,8 @@ the paper's artifact users would expect::
     repro solve --tool tritonx prog.rexf --seed 1
     repro bombs                            # list the dataset
     repro table2 --tools tritonx --bombs cp_stack sa_l1_array
+    repro explain sa_l1_array tritonx      # why does that cell say Es3?
+    repro stats run.jsonl --prom           # Prometheus text exposition
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -209,6 +211,20 @@ def cmd_table2(args) -> int:
         raise SystemExit("table2: --jobs must be >= 1")
     if args.timeout is not None and args.timeout <= 0:
         raise SystemExit("table2: --timeout must be > 0 seconds")
+    if args.explain:
+        from .eval import explain_matrix
+        from .service import ResultStore
+
+        store = ResultStore(args.cache) if args.cache else None
+        with _metrics(args, want=True):
+            diagnoses = explain_matrix(bombs, tools, store=store,
+                                       verbose=not args.json)
+        if args.json:
+            print(json.dumps([d.to_json() for d in diagnoses], indent=2))
+        else:
+            print()
+            print("\n\n".join(d.render() for d in diagnoses))
+        return 0
     with _metrics(args, want=args.json):
         result = run_table2(bomb_ids=bombs, tools=tools,
                             verbose=not args.json, jobs=args.jobs,
@@ -229,6 +245,34 @@ def cmd_table2(args) -> int:
                   "paper's Table II", file=sys.stderr)
             return 1
         print("check: all labelled cells match the paper", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .bombs import get_bomb
+    from .eval import explain_cell
+    from .tools.api import all_tool_names
+
+    try:
+        bomb = get_bomb(args.bomb)
+    except KeyError:
+        raise SystemExit(f"explain: unknown bomb {args.bomb!r} "
+                         "(see `repro bombs`)")
+    known = all_tool_names() + ["rexx"]
+    if args.tool not in known:
+        raise SystemExit(f"explain: unknown tool {args.tool!r} "
+                         f"(known: {', '.join(known)})")
+    with _metrics(args, want=True):
+        diagnosis = explain_cell(bomb, args.tool)
+    if args.store:
+        from .service import ResultStore, cell_key
+
+        ResultStore(args.store).put_diagnosis(
+            cell_key(bomb, args.tool), diagnosis)
+    if args.json:
+        print(json.dumps(diagnosis.to_json(), indent=2))
+    else:
+        print(diagnosis.render())
     return 0
 
 
@@ -275,6 +319,15 @@ def cmd_campaign_run(args) -> int:
 
 def cmd_campaign_status(args) -> int:
     service = _campaign_service(args)
+    if args.watch:
+        from .service import watch_status
+
+        if args.campaign is None:
+            raise SystemExit("campaign status: --watch needs a campaign id")
+        if args.interval <= 0:
+            raise SystemExit("campaign status: --interval must be > 0")
+        watch_status(service, args.campaign, interval=args.interval)
+        return 0
     if args.campaign is None:
         cids = service.campaigns()
         if not cids:
@@ -305,7 +358,14 @@ def cmd_campaign_results(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    from .obs import aggregate_events, read_events, render_stats
+    from .obs import (
+        aggregate_events,
+        prometheus_text,
+        read_events,
+        render_profile,
+        render_stats,
+        self_time_profile,
+    )
 
     try:
         events = read_events(args.metrics)
@@ -317,6 +377,12 @@ def cmd_stats(args) -> int:
     if not events:
         print(f"{args.metrics}: no events")
         return 1
+    if args.prom:
+        sys.stdout.write(prometheus_text(aggregate_events(events)))
+        return 0
+    if args.profile:
+        print(render_profile(self_time_profile(events)))
+        return 0
     print(render_stats(aggregate_events(events)))
     return 0
 
@@ -390,9 +456,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the matrix as JSON (outcome, expected, "
                         "matches_paper, per-stage timings)")
+    p.add_argument("--explain", action="store_true",
+                   help="run every cell with forensics on and emit a "
+                        "per-cell diagnosis report instead of the matrix")
     p.add_argument("--metrics-out", metavar="FILE.jsonl",
                    help="stream observability events to FILE (JSONL)")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "explain",
+        help="forensic diagnosis of one Table II cell (why that label?)")
+    p.add_argument("bomb", help="bomb id (see `repro bombs`)")
+    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | rexx")
+    p.add_argument("--json", action="store_true",
+                   help="emit the diagnosis as JSON")
+    p.add_argument("--store", metavar="DIR",
+                   help="also persist the diagnosis next to the result "
+                        "store at DIR")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(
         "campaign",
@@ -431,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
                                        "execution)")
     c.add_argument("campaign", nargs="?")
     c.add_argument("--root", default=".repro-service", metavar="DIR")
+    c.add_argument("--watch", action="store_true",
+                   help="poll the campaign, printing one progress line "
+                        "per interval, until no job is pending/claimed")
+    c.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="poll interval for --watch (default 2s)")
     c.set_defaults(func=cmd_campaign_status)
 
     c = camp.add_parser("results", help="render a campaign's matrix "
@@ -442,6 +530,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="summarize a --metrics-out JSONL file")
     p.add_argument("metrics", help="path to a FILE.jsonl event stream")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition instead of the "
+                        "human summary")
+    p.add_argument("--profile", action="store_true",
+                   help="emit a self-time span profile (wall minus child "
+                        "wall, per span path)")
     p.set_defaults(func=cmd_stats)
 
     return parser

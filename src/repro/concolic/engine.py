@@ -11,9 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..obs.provenance import CoreMember
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, SolverError
 from ..smt import IncrementalSolver, Solver
+from ..smt.solver import unsat_core
 from ..trace.record import Trace
 from ..trace.tracer import record_trace
 from ..vm import Environment
@@ -162,8 +164,8 @@ class ConcolicEngine:
                                             policy.solver_clauses,
                                             policy.solver_nodes)
                             for prior in constraints[:i]:
-                                solver.add(prior.expr)
-                            solver.add(negation)
+                                solver.add(prior.expr, (prior.pc, prior.kind))
+                            solver.add(negation, (target.pc, "negation"))
                             outcome = solver.check()
                 except SolverError as err:
                     if "fp theory" in str(err) or "divisor" in str(err):
@@ -174,6 +176,10 @@ class ConcolicEngine:
                         outcome = None
                     else:
                         raise
+                if (outcome is not None and not outcome.sat
+                        and replay.provenance is not None):
+                    self._explain_unsat(replay, constraints[:i], target,
+                                        negation)
                 if outcome is not None and outcome.sat:
                     candidate = self._rebuild_argv(replay, outcome.model,
                                                    seed_model)
@@ -183,7 +189,31 @@ class ConcolicEngine:
             if shared is not None:
                 # The constraint joins the shared prefix for all later
                 # negations on this path.
-                shared.assert_expr(target.expr)
+                shared.assert_expr(target.expr, (target.pc, target.kind))
+
+    def _explain_unsat(self, replay: ReplayResult, prefix, target,
+                       negation) -> None:
+        """Forensics for one refused negation: a minimized unsat core.
+
+        Runs an out-of-band assumption-based query tagging each prefix
+        constraint with its branch PC, so the diagnosis can name the
+        guard that pins the branch (only when a provenance collector is
+        active — the normal path never pays for this).
+        """
+        tagged = [((c.pc, c.kind), c.expr) for c in prefix]
+        tagged.append(((target.pc, "negation"), negation))
+        try:
+            core = unsat_core(tagged, self.policy.solver_conflicts,
+                              self.policy.solver_clauses)
+        except SolverError:
+            return  # budget-bound forensics: no core is acceptable
+        if not core:
+            return
+        by_tag = {(c.pc, c.kind): c.expr for c in prefix}
+        by_tag[(target.pc, "negation")] = negation
+        members = [CoreMember(pc, kind, repr(by_tag[(pc, kind)]))
+                   for pc, kind in core]
+        replay.provenance.record_core(target.pc, members)
 
     def _seed_model(self, replay: ReplayResult) -> dict[str, int]:
         model = {}

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..obs import provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, VMError
 from ..ir import il
@@ -73,6 +74,8 @@ class ReplayResult:
     var_layout: dict[str, tuple[int, int]] = field(default_factory=dict)
     seed_argv: list[bytes] = field(default_factory=list)
     aborted: str | None = None
+    #: forensics collector that observed this replay (None when off).
+    provenance: "provenance.ProvenanceCollector | None" = None
 
 
 class _ShadowThread:
@@ -122,6 +125,13 @@ class TraceReplayer:
         self._beyond_flagged = False
         self.env_escaped = False
         self.result = result
+        # Forensics: resolved once per replay, consulted per *tainted*
+        # instruction only — the untainted hot path never touches it.
+        prov = provenance.active()
+        if prov is None and self.policy.provenance:
+            prov = provenance.ProvenanceCollector()
+        self._prov = prov
+        result.provenance = prov
         self._declare_argv(trace, result)
 
         if obs.active() is not None:
@@ -176,6 +186,10 @@ class TraceReplayer:
                 var = mk_var(name, 8)
                 self.sym_mem[addr + i] = (var, None)
                 result.var_layout[name] = (k, i)
+            if self._prov is not None and length:
+                self._prov.introduce(
+                    f"argv[{k}] declared symbolic: {length} byte(s) at "
+                    f"0x{addr:x} as arg{k}_0..arg{k}_{length - 1}")
             if policy.argv_model == "word8":
                 for i in range(length, 8):
                     self._beyond_argv.add(addr + i)
@@ -485,6 +499,9 @@ class TraceReplayer:
         th.ctx.pc = next_pc
         if tainted:
             self.result.tainted_instructions += 1
+            if self._prov is not None:
+                self._prov.record_taint(pc, instr.op.name.lower(),
+                                        self.result.total_instructions - 1)
 
     def _do_binop(self, th, tmps, stmt: il.BinOp, pc: int):
         from ..vm.cpu import alu as _alu

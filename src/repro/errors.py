@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from .obs import provenance as _provenance
+
 
 class ErrorStage(enum.Enum):
     """Outcome labels used in the paper's Table II."""
@@ -132,6 +134,13 @@ class DiagnosticLog:
 
     def emit(self, kind: DiagnosticKind, detail: str = "", pc: int | None = None) -> None:
         self.events.append(Diagnostic(kind, detail, pc))
+        # Mirror every diagnostic into the forensics collector as a
+        # "drop" event: diagnostics are exactly the points where the
+        # pipeline abandoned symbolic data or a solver obligation, so
+        # this single funnel guarantees evidence for every non-OK cell.
+        prov = _provenance.active()
+        if prov is not None:
+            prov.drop(kind.value, detail, pc, DIAGNOSTIC_STAGE[kind].value)
 
     def stages(self) -> set[ErrorStage]:
         return {d.stage for d in self.events}

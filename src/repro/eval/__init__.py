@@ -1,6 +1,12 @@
 """Evaluation harness reproducing the paper's Section V."""
 
-from .classify import CONCRETIZATION_THRESHOLD, classify, primary_diagnostic
+from .classify import (
+    CONCRETIZATION_THRESHOLD,
+    classify,
+    describe_outcome,
+    primary_diagnostic,
+)
+from .explain import CellDiagnosis, EvidenceItem, explain_cell, explain_matrix
 from .figures import DatasetStats, Figure3Result, run_dataset_stats, run_figure3
 from .harness import CellResult, Table2Result, run_cell, run_negative_bomb, run_table2
 from .report import render_markdown_report, unsolved_cases
@@ -8,11 +14,16 @@ from .tables import render_table1, render_table2, verify_table1_against_observat
 
 __all__ = [
     "CONCRETIZATION_THRESHOLD",
+    "CellDiagnosis",
     "CellResult",
     "DatasetStats",
+    "EvidenceItem",
     "Figure3Result",
     "Table2Result",
     "classify",
+    "describe_outcome",
+    "explain_cell",
+    "explain_matrix",
     "primary_diagnostic",
     "render_markdown_report",
     "render_table1",

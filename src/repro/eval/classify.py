@@ -83,8 +83,8 @@ def classify(report: ToolReport) -> ErrorStage:
     return ErrorStage.ES0
 
 
-def primary_diagnostic(report: ToolReport,
-                       outcome: ErrorStage) -> Diagnostic | None:
+def primary_diagnostic(report: ToolReport, outcome: ErrorStage,
+                       provenance=None) -> Diagnostic | None:
     """The diagnostic that drove *outcome* — the cell's root cause.
 
     Returns the first diagnostic whose stage matches the classified
@@ -93,12 +93,56 @@ def primary_diagnostic(report: ToolReport,
     label came from precedence overrides (e.g. an Es3 run reclassified
     as Es2 by the concretization threshold).  ``None`` for solved cells
     or runs with an empty log.
+
+    With a :class:`~repro.obs.provenance.ProvenanceCollector`, a
+    stage-matching diagnostic that carries a concrete instruction
+    address *and* was witnessed as a drop event wins over an earlier
+    address-less one — evidence that points at an instruction beats a
+    blanket statement about the run.
     """
     if outcome is ErrorStage.OK:
         return None
-    for diag in report.diagnostics:
-        if diag.stage is outcome:
-            return diag
+    matching = [d for d in report.diagnostics if d.stage is outcome]
+    if provenance is not None and matching:
+        witnessed = {(e.cause, e.pc) for e in provenance.drops
+                     if e.pc is not None}
+        for diag in matching:
+            if (diag.kind.value, diag.pc) in witnessed:
+                return diag
+    if matching:
+        return matching[0]
     for diag in report.diagnostics:
         return diag
     return None
+
+
+#: One-line reading of each Table II label, completed by the root
+#: diagnostic when one exists.
+_STAGE_SUMMARY = {
+    ErrorStage.OK: "solved: a generated input triggered the bomb on "
+                   "concrete replay",
+    ErrorStage.ES0: "declaration gap (Es0): the trigger input never became "
+                    "a symbolic variable",
+    ErrorStage.ES1: "lifting gap (Es1): an instruction the tool cannot "
+                    "(fully) lift cut the analysis",
+    ErrorStage.ES2: "propagation loss (Es2): symbolic data was dropped "
+                    "before reaching the trigger branch",
+    ErrorStage.ES3: "constraint-modeling gap (Es3): the constraint model "
+                    "omits required memory or theory",
+    ErrorStage.E: "abnormal exit (E): crash, resource exhaustion, or no "
+                  "feedback within the budget",
+    ErrorStage.P: "partial success (P): reachability claimed through a "
+                  "simulated system-call value that does not replay",
+}
+
+
+def describe_outcome(outcome: ErrorStage, root=None) -> str:
+    """Human-readable diagnosis sentence for one classified cell.
+
+    *root* is the root-cause :class:`Diagnostic` (or its rendered
+    string) appended to the stage reading for non-OK cells.
+    """
+    summary = _STAGE_SUMMARY[outcome]
+    if root is not None and outcome is not ErrorStage.OK:
+        summary = f"{summary} — {root}"
+    return summary

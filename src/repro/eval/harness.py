@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..obs import provenance
 from ..bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS, all_bombs, get_bomb
 from ..bombs.suite import Bomb
 from ..errors import ErrorStage
 from ..tools.api import ToolReport, get_tool
-from .classify import classify, primary_diagnostic
+from .classify import classify, describe_outcome, primary_diagnostic
 
 
 @dataclass
@@ -56,6 +57,12 @@ class CellResult:
             return None
         return self.label == self.expected
 
+    @property
+    def diagnosis(self) -> str:
+        """Stage-aware one-line reading of the cell (derived, so cached
+        cells from older store schemas pick it up on decode)."""
+        return describe_outcome(self.outcome, self.diagnostic)
+
     def to_json(self) -> dict:
         """JSON-serializable summary for ``repro table2 --json``."""
         return {
@@ -67,6 +74,7 @@ class CellResult:
             "elapsed_s": round(self.report.elapsed, 6),
             "timings_s": {k: round(v, 6) for k, v in sorted(self.timings.items())},
             "diagnostic": self.diagnostic,
+            "diagnosis": self.diagnosis,
         }
 
 
@@ -154,7 +162,7 @@ def run_cell(bomb: Bomb, tool_name: str,
                 confirmed = bomb.triggers(report.solution, report.solution_env)
                 rp.set("validated", confirmed)
         outcome = classify(report)
-        root = primary_diagnostic(report, outcome)
+        root = primary_diagnostic(report, outcome, provenance.active())
         sp.set("outcome", str(outcome))
         sp.set("expected", bomb.expected.get(tool_name))
         if root is not None:

@@ -26,6 +26,8 @@ from .core import (
     span,
     uninstall,
 )
+from .export import prometheus_text, render_profile, self_time_profile
+from .provenance import ProvenanceCollector, collecting
 from .sinks import JsonlSink, MemorySink
 from .stats import Aggregate, aggregate_events, read_events, render_stats
 
@@ -34,16 +36,21 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "NULL_SPAN",
+    "ProvenanceCollector",
     "Recorder",
     "Span",
     "active",
     "aggregate_events",
+    "collecting",
     "count",
     "install",
     "observe",
+    "prometheus_text",
     "read_events",
     "recording",
+    "render_profile",
     "render_stats",
+    "self_time_profile",
     "span",
     "uninstall",
 ]

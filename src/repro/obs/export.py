@@ -1,0 +1,140 @@
+"""Exporters over recorded telemetry: Prometheus text + span profile.
+
+Two read-only views of data the :class:`~repro.obs.core.Recorder`
+already produces:
+
+* :func:`prometheus_text` renders an :class:`~repro.obs.stats.Aggregate`
+  (or a recorder ``snapshot()``) in the Prometheus text exposition
+  format, so a campaign box can drop the file behind any static HTTP
+  server and be scraped.  Counters become ``repro_<name>`` counters,
+  spans become ``repro_span_count``/``repro_span_wall_seconds_total``
+  families labelled by span name, histograms become summaries.
+* :func:`self_time_profile` reconstructs a flamegraph-style self-time
+  table from a JSONL span event stream.  Span events carry their
+  hierarchy in ``path`` and are emitted children-before-parents, so a
+  single pass can subtract each child's wall time from its parent and
+  report where time was actually *spent* rather than merely enclosed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .stats import Aggregate
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(round(float(value), 9))
+
+
+def prometheus_text(agg: Aggregate | dict) -> str:
+    """Render an aggregate (or ``Recorder.snapshot()``) as Prometheus text."""
+    if isinstance(agg, dict):
+        counters = agg.get("counters", {})
+        spans = agg.get("spans", {})
+        hists = agg.get("histograms", {})
+    else:
+        counters, spans, hists = agg.counters, agg.spans, agg.hists
+
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+
+    if spans:
+        lines.append("# TYPE repro_span_count counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_count{{span="{name}"}} {int(spans[name]["count"])}')
+        lines.append("# TYPE repro_span_wall_seconds_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_wall_seconds_total{{span="{name}"}} '
+                f'{_fmt(spans[name]["wall_s"])}')
+        lines.append("# TYPE repro_span_cpu_seconds_total counter")
+        for name in sorted(spans):
+            lines.append(
+                f'repro_span_cpu_seconds_total{{span="{name}"}} '
+                f'{_fmt(spans[name]["cpu_s"])}')
+
+    for name in sorted(hists):
+        h = hists[name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95")):
+            if key in h:
+                lines.append(
+                    f'{metric}{{quantile="{q_label}"}} {_fmt(h[key])}')
+        if "total" in h:
+            lines.append(f"{metric}_sum {_fmt(h['total'])}")
+        if "count" in h:
+            lines.append(f"{metric}_count {int(h['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+@dataclass
+class ProfileRow:
+    """Aggregated timing for one span path in the hierarchy."""
+
+    path: str
+    count: int
+    wall_s: float
+    self_s: float
+    cpu_s: float
+
+
+def self_time_profile(events: list[dict]) -> list[ProfileRow]:
+    """Self-time table from a span event stream, sorted by self time.
+
+    Exploits two stream invariants: a span's ``path`` embeds its whole
+    ancestry (``cell/trace/vm``), and a child's event is emitted before
+    its parent's.  Child wall time is parked under the parent's path
+    and subtracted when the parent's own event arrives.
+    """
+    rows: dict[str, ProfileRow] = {}
+    pending: dict[str, float] = {}  # parent path -> children wall not yet seen
+    for event in events:
+        if event.get("t") != "span":
+            continue
+        path = event.get("path") or event.get("name", "")
+        wall = event.get("wall_s", 0.0)
+        self_s = wall - pending.pop(path, 0.0)
+        if "/" in path:
+            parent = path.rsplit("/", 1)[0]
+            pending[parent] = pending.get(parent, 0.0) + wall
+        row = rows.get(path)
+        if row is None:
+            rows[path] = ProfileRow(path, 1, wall, self_s,
+                                    event.get("cpu_s", 0.0))
+        else:
+            row.count += 1
+            row.wall_s += wall
+            row.self_s += self_s
+            row.cpu_s += event.get("cpu_s", 0.0)
+    return sorted(rows.values(), key=lambda r: r.self_s, reverse=True)
+
+
+def render_profile(rows: list[ProfileRow]) -> str:
+    """Text flamegraph table: deepest self-time consumers first."""
+    if not rows:
+        return "no span events"
+    total_self = sum(r.self_s for r in rows) or 1.0
+    lines = [f"{'self s':>10s}{'self %':>8s}{'wall s':>10s}{'count':>8s}  path",
+             "-" * 68]
+    for row in rows:
+        pct = 100.0 * row.self_s / total_self
+        lines.append(
+            f"{row.self_s:>10.4f}{pct:>7.1f}%{row.wall_s:>10.4f}"
+            f"{row.count:>8d}  {row.path}"
+        )
+    return "\n".join(lines)

@@ -16,7 +16,7 @@ Turns the one-shot Table II harness into a durable analysis service:
   API behind ``repro campaign submit/run/status/results``.
 """
 
-from .campaign import CampaignReport, CampaignService, CampaignSpec
+from .campaign import CampaignReport, CampaignService, CampaignSpec, watch_status
 from .executor import (
     DEFAULT_BACKOFF,
     DEFAULT_RETRIES,
@@ -57,4 +57,5 @@ __all__ = [
     "image_digest",
     "infrastructure_failure_cell",
     "run_cell_isolated",
+    "watch_status",
 ]

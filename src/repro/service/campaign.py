@@ -194,3 +194,39 @@ class CampaignService:
             raise KeyError(f"unknown campaign {cid!r}; "
                            f"known: {self.campaigns()}")
         return cdir
+
+
+def watch_status(service: CampaignService, cid: str,
+                 interval: float = 2.0, stream=None,
+                 sleep=None, max_polls: int | None = None) -> dict:
+    """Poll a campaign until no job is pending or claimed.
+
+    Prints one progress line per poll to *stream* (default stdout) and
+    returns the final status snapshot.  *sleep* and *max_polls* exist
+    for tests (inject a fake clock / bound the loop); the production
+    path (``repro campaign status --watch``) uses the real clock and no
+    poll bound.
+    """
+    import sys
+    import time
+
+    out = stream if stream is not None else sys.stdout
+    tick = sleep if sleep is not None else time.sleep
+    polls = 0
+    while True:
+        status = service.status(cid)
+        states = status["states"]
+        line = (f"{cid}: pending={states['pending']} "
+                f"claimed={states['claimed']} done={states['done']} "
+                f"exhausted={states['exhausted']}")
+        if status["results"]:
+            labels = " ".join(f"{k}={v}" for k, v
+                              in sorted(status["results"].items()))
+            line += f"  [{labels}]"
+        print(line, file=out, flush=True)
+        polls += 1
+        if states["pending"] + states["claimed"] == 0:
+            return status
+        if max_polls is not None and polls >= max_polls:
+            return status
+        tick(interval)

@@ -127,15 +127,24 @@ def decode_cell(doc: dict, bomb: Bomb) -> CellResult:
 
 
 class ResultStore:
-    """Content-addressed store of cell results on the local filesystem."""
+    """Content-addressed store of cell results on the local filesystem.
+
+    Forensic diagnoses (:class:`~repro.eval.explain.CellDiagnosis`) live
+    under a sibling ``diagnoses/`` tree keyed by the same cell key, so
+    explaining a campaign leaves one explanation per cached result.
+    """
 
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
+        self._diagnoses = self.root / "diagnoses"
 
     def _path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
+
+    def _diagnosis_path(self, key: str) -> Path:
+        return self._diagnoses / key[:2] / f"{key}.json"
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -175,3 +184,37 @@ class ResultStore:
                 pass
             raise
         obs.count("service.cache_stores")
+
+    # -- forensic diagnoses ------------------------------------------------
+
+    def put_diagnosis(self, key: str, diagnosis) -> None:
+        """Store a cell's forensic diagnosis next to its result."""
+        path = self._diagnosis_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps({"schema": CACHE_SCHEMA, **diagnosis.to_json()},
+                         sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.diagnosis_stores")
+
+    def get_diagnosis(self, key: str):
+        """The stored diagnosis for *key*, or None."""
+        from ..eval.explain import CellDiagnosis
+
+        try:
+            doc = json.loads(
+                self._diagnosis_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            return None
+        return CellDiagnosis.from_json(doc)

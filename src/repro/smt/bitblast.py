@@ -307,11 +307,20 @@ class BitBlaster:
 
     # -- top level ------------------------------------------------------------------
 
-    def assert_true(self, expr: Expr) -> None:
-        """Assert a width-1 expression."""
+    def assert_true(self, expr: Expr, activation: int | None = None) -> None:
+        """Assert a width-1 expression.
+
+        With *activation* (a SAT literal), the assertion is guarded:
+        it only holds while the literal is assumed, the MiniSat idiom
+        behind both incremental queries and unsat-core extraction.
+        """
         if expr.width != 1:
             raise SolverError("assertions must be width 1")
-        self.solver.add_clause([self.blast(expr)[0]])
+        lit = self.blast(expr)[0]
+        if activation is None:
+            self.solver.add_clause([lit])
+        else:
+            self.solver.add_clause([activation ^ 1, lit])
 
     def extract_model(self, sat_model: list[int]) -> dict[str, int]:
         """Read back variable values from a SAT model."""

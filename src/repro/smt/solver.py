@@ -41,6 +41,9 @@ class Solver:
     def __init__(self, max_conflicts: int = 100_000, max_clauses: int = 1_500_000,
                  max_nodes: int | None = None):
         self.constraints: list[Expr] = []
+        #: Provenance tag per asserted constraint (``(pc, kind)`` from
+        #: the concolic engine, or None) — consumed by :func:`unsat_core`.
+        self.tags: list = []
         self.max_conflicts = max_conflicts
         self.max_clauses = max_clauses
         #: Optional cap on the constraint DAG size; queries over it fail
@@ -49,10 +52,11 @@ class Solver:
         self.max_nodes = max_nodes
         self.queries = 0
 
-    def add(self, expr: Expr) -> None:
+    def add(self, expr: Expr, tag=None) -> None:
         if expr.width != 1:
             raise SolverError("constraints must be width 1")
         self.constraints.append(expr)
+        self.tags.append(tag)
 
     def extend(self, exprs) -> None:
         for expr in exprs:
@@ -61,7 +65,12 @@ class Solver:
     def clone(self) -> "Solver":
         other = Solver(self.max_conflicts, self.max_clauses, self.max_nodes)
         other.constraints = list(self.constraints)
+        other.tags = list(self.tags)
         return other
+
+    def tagged(self) -> list:
+        """The asserted constraints as ``(tag, expr)`` pairs."""
+        return list(zip(self.tags, self.constraints))
 
     # -- queries -------------------------------------------------------------
 
@@ -177,6 +186,10 @@ class IncrementalSolver:
         #: Non-constant prefix constraints, in assertion order; the
         #: first ``_encoded`` of them are already in the SAT instance.
         self._prefix: list[Expr] = []
+        self._prefix_tags: list = []
+        #: Constant-false assertions, kept (with their tags) only so
+        #: :meth:`tagged` can name them in an unsat core.
+        self._const_false: list = []
         self._encoded = 0
         self._prefix_nodes = 0
         self._prefix_false = False
@@ -193,20 +206,26 @@ class IncrementalSolver:
 
     # -- prefix ------------------------------------------------------------
 
-    def assert_expr(self, expr: Expr) -> None:
+    def assert_expr(self, expr: Expr, tag=None) -> None:
         """Permanently assert a width-1 constraint (lazily encoded)."""
         if expr.width != 1:
             raise SolverError("constraints must be width 1")
         if expr.is_const:
             if not expr.value:
                 self._prefix_false = True
+                self._const_false.append((tag, expr))
             return
         self._prefix.append(expr)
+        self._prefix_tags.append(tag)
         self._prefix_nodes += expr.size()
 
     def extend(self, exprs) -> None:
         for expr in exprs:
             self.assert_expr(expr)
+
+    def tagged(self) -> list:
+        """The asserted prefix as ``(tag, expr)`` pairs (incl. constants)."""
+        return list(self._const_false) + list(zip(self._prefix_tags, self._prefix))
 
     # -- queries -----------------------------------------------------------
 
@@ -355,3 +374,50 @@ def solve(constraints: list[Expr], max_conflicts: int = 100_000,
     solver = Solver(max_conflicts, max_clauses)
     solver.extend(constraints)
     return solver.check()
+
+
+def unsat_core(tagged, max_conflicts: int = 100_000,
+               max_clauses: int = 1_500_000):
+    """Minimized unsat core over *tagged* ``(tag, expr)`` constraints.
+
+    Returns the tags of an unsatisfiable subset (deletion-minimized:
+    dropping any single member makes it satisfiable), or ``None`` when
+    the conjunction is satisfiable.  Assumption-based: each constraint
+    is guarded behind its own activation literal and queried via
+    ``SatSolver.solve(assumptions=)``, so the deletion loop reuses one
+    SAT instance and every clause learnt along the way.
+
+    Raises :class:`SolverError` on budget exhaustion or an
+    unencodable theory, like any other query.
+    """
+    guarded: list = []  # (tag, activation literal)
+    sat = SatSolver(max_conflicts, max_clauses)
+    blaster = BitBlaster(sat)
+    for tag, expr in tagged:
+        if expr.width != 1:
+            raise SolverError("constraints must be width 1")
+        if expr.is_const:
+            if not expr.value:
+                return [tag]  # constant false is a core by itself
+            continue
+        activation = sat.new_var() * 2
+        try:
+            blaster.assert_true(expr, activation)
+        except RecursionError:
+            raise SolverError("formula too deep to encode") from None
+        guarded.append((tag, activation))
+    obs.count("prov.core_queries")
+    if sat.solve([act for _, act in guarded]) is not None:
+        return None
+    # Deletion minimization: try dropping each member; keep the drop
+    # whenever the rest stays UNSAT.
+    core = guarded
+    i = 0
+    while i < len(core):
+        trial = core[:i] + core[i + 1:]
+        obs.count("prov.core_queries")
+        if sat.solve([act for _, act in trial]) is None:
+            core = trial
+        else:
+            i += 1
+    return [tag for tag, _ in core]

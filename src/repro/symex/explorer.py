@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..obs import provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, EngineError, SolverError
 from ..ir import il
@@ -218,6 +219,11 @@ class AngrEngine:
                     )
                 prev = var
             state.write_byte(cursor + width, mk_const(0, 8))
+            prov = provenance.active()
+            if prov is not None:
+                prov.introduce(
+                    f"argv[{k}] declared symbolic: {width} byte(s) at "
+                    f"0x{cursor:x} as arg{k}_0..arg{k}_{width - 1}")
             cursor += width + 1
         argv_base = (cursor + 7) & ~7
         for i, addr in enumerate(str_addrs):

@@ -24,6 +24,9 @@ class TaintSummary:
     tainted_instructions: int
     symbolic_branches: int
     model_nodes: int
+    #: the per-instruction provenance chain, when a collector was
+    #: active (or *policy.provenance* was set); None otherwise.
+    provenance: object | None = None
 
     @property
     def tainted_fraction(self) -> float:
@@ -69,4 +72,5 @@ def taint_summary(
         tainted_instructions=replay.tainted_instructions,
         symbolic_branches=len(replay.constraints),
         model_nodes=model_nodes,
+        provenance=replay.provenance,
     )

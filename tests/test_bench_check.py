@@ -1,0 +1,116 @@
+"""Tests for the benchmark regression gate (benchmarks/bench_check.py).
+
+The gate lives outside the package (it is a CI script over benchmark
+artifacts, not library code), so it is imported by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_check",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_check.py")
+bench_check = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_check)
+
+
+BASELINE = {
+    "wall_s": 100.0,
+    "solved_counts": {"bapx": 2, "tritonx": 1},
+    "agreement": {"matched": 87, "labelled": 88},
+    "solver": {"queries": 1000, "prefix_reuse": 700},
+}
+
+
+def candidate(**overrides):
+    doc = json.loads(json.dumps(BASELINE))
+    for key, value in overrides.items():
+        section, _, leaf = key.partition("__")
+        if leaf:
+            doc[section][leaf] = value
+        else:
+            doc[section] = value
+    return doc
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        assert bench_check.compare(BASELINE, candidate()) == []
+
+    def test_within_tolerance_passes(self):
+        cand = candidate(wall_s=115.0, solver__queries=1150,
+                         solver__prefix_reuse=600)
+        assert bench_check.compare(BASELINE, cand) == []
+
+    def test_query_growth_fails(self):
+        problems = bench_check.compare(BASELINE,
+                                       candidate(solver__queries=1300))
+        assert any("solver.queries" in p for p in problems)
+
+    def test_prefix_reuse_shrink_fails(self):
+        problems = bench_check.compare(BASELINE,
+                                       candidate(solver__prefix_reuse=500))
+        assert any("solver.prefix_reuse" in p for p in problems)
+
+    def test_improvements_never_fail(self):
+        cand = candidate(wall_s=10.0, solver__queries=100,
+                         solver__prefix_reuse=5000)
+        assert bench_check.compare(BASELINE, cand) == []
+
+    def test_wall_regression_fails(self):
+        problems = bench_check.compare(BASELINE, candidate(wall_s=130.0))
+        assert any("wall_s" in p for p in problems)
+
+    def test_wall_tolerance_is_separate(self):
+        cand = candidate(wall_s=180.0)
+        assert bench_check.compare(BASELINE, cand, wall_tolerance=1.0) == []
+        assert bench_check.compare(BASELINE, cand) != []
+
+    def test_solved_counts_change_fails(self):
+        problems = bench_check.compare(
+            BASELINE, candidate(solved_counts={"bapx": 3, "tritonx": 1}))
+        assert any("solved_counts" in p for p in problems)
+
+    def test_agreement_change_fails(self):
+        problems = bench_check.compare(
+            BASELINE, candidate(agreement={"matched": 80, "labelled": 88}))
+        assert any("agreement" in p for p in problems)
+
+    def test_missing_counters_are_skipped(self):
+        assert bench_check.compare(BASELINE, candidate(solver={})) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(tmp_path, "cand.json", candidate())
+        assert bench_check.main([base, cand]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(tmp_path, "cand.json", candidate(wall_s=200.0))
+        assert bench_check.main([base, cand]) == 1
+        assert "wall_s regressed" in capsys.readouterr().err
+
+    def test_wall_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        cand = self._write(tmp_path, "cand.json", candidate(wall_s=180.0))
+        assert bench_check.main([base, cand, "--wall-tolerance", "1.0"]) == 0
+
+    def test_unreadable_input_exit_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        assert bench_check.main([base, str(tmp_path / "missing.json")]) == 1
+
+    def test_committed_baseline_is_self_consistent(self, capsys):
+        committed = str(Path(__file__).resolve().parent.parent
+                        / "BENCH_table2.json")
+        assert bench_check.main([committed, committed]) == 0
