@@ -17,7 +17,11 @@ reusing more prefixes never fails):
 * ``solver.prefix_reuse`` may not shrink by more than the tolerance;
 * ``wall_s`` may not grow by more than the (separately settable) wall
   tolerance — CI runners are noisy, so the workflow passes a looser
-  bound than the default.
+  bound than the default;
+* ``stage_wall_s.explore`` and ``stage_wall_s.solve`` (the two stages
+  that dominate the run) may not grow by more than the wall tolerance
+  either — a change can hold total wall steady while quietly shifting
+  cost into one stage, and the per-stage gates catch that.
 
 Exit status 0 when every gate holds, 1 otherwise (one line per
 violation on stderr).
@@ -32,6 +36,10 @@ from pathlib import Path
 
 #: Default relative tolerance for counter and wall-clock growth.
 TOLERANCE = 0.20
+
+#: Per-stage walls gated against the baseline (the dominant stages;
+#: trace/lift/extract are too small and noisy to gate usefully).
+GATED_STAGES = ("explore", "solve")
 
 
 def _pct(old: float, new: float) -> str:
@@ -80,6 +88,17 @@ def compare(baseline: dict, candidate: dict,
             problems.append(
                 f"wall_s regressed: {old_wall} -> {new_wall} "
                 f"({_pct(old_wall, new_wall)}, tolerance {wall_tol:.0%})")
+
+    base_stages = baseline.get("stage_wall_s", {})
+    cand_stages = candidate.get("stage_wall_s", {})
+    for stage in GATED_STAGES:
+        old, new = base_stages.get(stage), cand_stages.get(stage)
+        if old is None or new is None:
+            continue
+        if new > old * (1 + wall_tol):
+            problems.append(
+                f"stage_wall_s.{stage} regressed: {old} -> {new} "
+                f"({_pct(old, new)}, tolerance {wall_tol:.0%})")
 
     return problems
 

@@ -28,24 +28,28 @@ from pathlib import Path
 
 
 @contextlib.contextmanager
-def _metrics(args, want: bool = False):
+def _metrics(args, want: bool = False, capture: bool = False):
     """Install a recorder for the command when metrics were requested.
 
     ``--metrics-out FILE`` streams JSONL events to *FILE*; *want* forces
     a sink-less in-memory recorder (used by ``table2 --json``, which
-    needs per-stage timings even without an output file).  Yields the
-    recorder, or ``None`` when observability stays off.
+    needs per-stage timings even without an output file); *capture*
+    additionally attaches a :class:`MemorySink` so the caller can read
+    the full event stream back (``--trace-out``).  Yields the recorder,
+    or ``None`` when observability stays off.
     """
     from . import obs
 
     out = getattr(args, "metrics_out", None)
-    if out is None and not want:
+    if out is None and not want and not capture:
         yield None
         return
     try:
         sinks = [obs.JsonlSink(out)] if out is not None else []
     except OSError as err:
         raise SystemExit(f"cannot open {out}: {err.strerror}")
+    if capture:
+        sinks.append(obs.MemorySink())
     with obs.recording(obs.Recorder(sinks=sinks)) as rec:
         yield rec
 
@@ -225,15 +229,33 @@ def cmd_table2(args) -> int:
             print()
             print("\n\n".join(d.render() for d in diagnoses))
         return 0
-    with _metrics(args, want=args.json):
-        result = run_table2(bomb_ids=bombs, tools=tools,
-                            verbose=not args.json, jobs=args.jobs,
-                            timeout=args.timeout, cache=args.cache)
+    trace_out = args.trace_out
+    hotspot_text = None
+    with _metrics(args, want=args.json or bool(trace_out),
+                  capture=bool(trace_out)) as rec:
+        from . import obs
+
+        with obs.profiling(obs.Profiler() if trace_out else None) as prof:
+            result = run_table2(bomb_ids=bombs, tools=tools,
+                                verbose=not args.json, jobs=args.jobs,
+                                timeout=args.timeout, cache=args.cache)
+        if trace_out:
+            mem = next(s for s in rec.sinks
+                       if isinstance(s, obs.MemorySink))
+            Path(trace_out).write_text(
+                json.dumps(obs.chrome_trace(mem.events)))
+            hotspot_text = obs.render_hotspots(prof.snapshot(),
+                                               top=args.top)
     if args.json:
         print(json.dumps(result.to_json(), indent=2))
     else:
         print()
         print(render_table2(result))
+    if hotspot_text is not None:
+        print()
+        print(hotspot_text)
+        print(f"\ntrace written to {trace_out} "
+              "(load it in https://ui.perfetto.dev)", file=sys.stderr)
     if args.check:
         mismatches = result.mismatches()
         for cell in mismatches:
@@ -245,6 +267,53 @@ def cmd_table2(args) -> int:
                   "paper's Table II", file=sys.stderr)
             return 1
         print("check: all labelled cells match the paper", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from . import obs
+    from .bombs import get_bomb
+    from .eval.harness import _print_cell, run_cell
+    from .tools.api import all_tool_names
+
+    try:
+        bomb = get_bomb(args.bomb)
+    except KeyError:
+        raise SystemExit(f"profile: unknown bomb {args.bomb!r} "
+                         "(see `repro bombs`)")
+    known = all_tool_names() + ["rexx"]
+    if args.tool not in known:
+        raise SystemExit(f"profile: unknown tool {args.tool!r} "
+                         f"(known: {', '.join(known)})")
+    mem = obs.MemorySink()
+    sinks: list = [mem]
+    if args.metrics_out is not None:
+        try:
+            sinks.append(obs.JsonlSink(args.metrics_out))
+        except OSError as err:
+            raise SystemExit(
+                f"cannot open {args.metrics_out}: {err.strerror}")
+    profiler = obs.Profiler()
+    with obs.recording(obs.Recorder(sinks=sinks, hist_values=True)):
+        with obs.profiling(profiler):
+            cell = run_cell(bomb, args.tool)
+    if args.trace_out:
+        Path(args.trace_out).write_text(
+            json.dumps(obs.chrome_trace(mem.events)))
+    if args.flame_out:
+        Path(args.flame_out).write_text(obs.collapsed_stacks(mem.events))
+    if args.json:
+        print(json.dumps({"cell": cell.to_json(),
+                          **obs.hotspots(profiler.snapshot(), args.top)},
+                         indent=2))
+        return 0
+    _print_cell(cell)
+    print()
+    print(obs.render_hotspots(profiler.snapshot(), top=args.top))
+    for path, what in ((args.trace_out, "Chrome trace (Perfetto)"),
+                       (args.flame_out, "collapsed stacks (flamegraph)")):
+        if path:
+            print(f"\n{what} written to {path}", file=sys.stderr)
     return 0
 
 
@@ -461,7 +530,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "per-cell diagnosis report instead of the matrix")
     p.add_argument("--metrics-out", metavar="FILE.jsonl",
                    help="stream observability events to FILE (JSONL)")
+    p.add_argument("--trace-out", metavar="FILE.json",
+                   help="write the run's stitched span trace as Chrome "
+                        "trace-event JSON (load in Perfetto) and print "
+                        "a hotspot report")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="hotspot report depth for --trace-out "
+                        "(default 10)")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "profile",
+        help="attribution profile of one (bomb, tool) cell: hot PCs, "
+             "hot guards, optional Perfetto trace / flamegraph")
+    p.add_argument("bomb", help="bomb id (see `repro bombs`)")
+    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | rexx")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows per hotspot table (default 10)")
+    p.add_argument("--trace-out", metavar="FILE.json",
+                   help="write Chrome trace-event JSON (Perfetto)")
+    p.add_argument("--flame-out", metavar="FILE.txt",
+                   help="write collapsed-stack flamegraph text "
+                        "(flamegraph.pl / speedscope)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the cell summary and hotspot tables as JSON")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "explain",

@@ -158,7 +158,8 @@ class ConcolicEngine:
                 try:
                     with obs.span("solve", pc=target.pc, tool=policy.name):
                         if shared is not None:
-                            outcome = shared.check(negation)
+                            outcome = shared.check(
+                                negation, tag=(target.pc, "negation"))
                         else:
                             solver = Solver(policy.solver_conflicts,
                                             policy.solver_clauses,
@@ -166,7 +167,8 @@ class ConcolicEngine:
                             for prior in constraints[:i]:
                                 solver.add(prior.expr, (prior.pc, prior.kind))
                             solver.add(negation, (target.pc, "negation"))
-                            outcome = solver.check()
+                            outcome = solver.check(
+                                tag=(target.pc, "negation"))
                 except SolverError as err:
                     if "fp theory" in str(err) or "divisor" in str(err):
                         report.diagnostics.emit(

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..obs import provenance
+from ..obs import profile, provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, VMError
 from ..ir import il
@@ -108,6 +108,7 @@ class TraceReplayer:
         # Lifted-IL cache: a trace revisits the same pc constantly
         # (loops, library calls), so lift each distinct instruction once.
         self._lift_cache: dict[int, list] = {}
+        self._pc_counts: dict[int, int] | None = None
 
     # -- public -----------------------------------------------------------
 
@@ -148,6 +149,9 @@ class TraceReplayer:
                             lifted += 1
                 obs.count("lift.instructions", lifted)
 
+        # Per-PC replay tally: gated once per replay, flushed once.
+        self._pc_counts: dict[int, int] | None = \
+            {} if profile.active() is not None else None
         with obs.span("extract"):
             try:
                 for event in trace.events:
@@ -165,6 +169,9 @@ class TraceReplayer:
             obs.count("taint.instructions_total", result.total_instructions)
             obs.count("taint.instructions_tainted", result.tainted_instructions)
             obs.count("taint.symbolic_branches", len(result.constraints))
+            if self._pc_counts:
+                profile.record_pcs("extract", self._pc_counts)
+                self._pc_counts = None
         return result
 
     # -- argv declaration (the Es0-prone stage) --------------------------------
@@ -312,6 +319,9 @@ class TraceReplayer:
         next_pc = instr.next_addr
         tid = event.tid
         pc = instr.addr
+        pcs = self._pc_counts
+        if pcs is not None:
+            pcs[pc] = pcs.get(pc, 0) + 1
 
         stmts = self._lift_cache.get(pc)
         if stmts is None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..obs import provenance
+from ..obs import profile, provenance
 from ..bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS, all_bombs, get_bomb
 from ..bombs.suite import Bomb
 from ..errors import ErrorStage
@@ -151,7 +151,8 @@ def run_cell(bomb: Bomb, tool_name: str,
 
         return run_cell_isolated(bomb, tool_name, timeout)
     tool = get_tool(tool_name)
-    with obs.span("cell", bomb=bomb.bomb_id, tool=tool_name) as sp:
+    with obs.span("cell", bomb=bomb.bomb_id, tool=tool_name) as sp, \
+            profile.cell(bomb.bomb_id, tool_name):
         report = tool.analyze_bomb(bomb)
         if report.solved and report.solution is not None:
             # Re-validate the accepted solution concretely, so every
@@ -189,7 +190,8 @@ def _print_cell(cell: CellResult) -> None:
 
 
 def _cell_worker(bomb_id: str, tool_name: str,
-                 metrics_path: str | None) -> CellResult:
+                 metrics_path: str | None,
+                 trace_ctx: tuple | None = None) -> CellResult:
     """Evaluate one cell in a worker process.
 
     Any recorder inherited across ``fork`` is dropped first — its sinks
@@ -197,15 +199,24 @@ def _cell_worker(bomb_id: str, tool_name: str,
     a recorder, the worker records to its own JSONL stream (with raw
     histogram values) at *metrics_path*; the parent absorbs it after the
     cell completes, so merged stage timings stay exact.
+
+    *trace_ctx* is ``(trace_id, parent_span_id, profiling)`` from the
+    parent: the worker recorder joins the parent's trace (its top span
+    parented under the harness span) and mirrors the parent's
+    attribution-profiler state.
     """
     obs.uninstall()
+    profile.uninstall()
     bomb = get_bomb(bomb_id)
     if metrics_path is None:
         return run_cell(bomb, tool_name)
+    trace_id, parent_span_id, profiling = trace_ctx or (None, None, False)
     recorder = obs.Recorder(sinks=[obs.JsonlSink(metrics_path)],
-                            hist_values=True)
+                            hist_values=True, trace_id=trace_id,
+                            parent_span_id=parent_span_id)
     with obs.recording(recorder):
-        return run_cell(bomb, tool_name)
+        with profile.profiling(profile.Profiler() if profiling else None):
+            return run_cell(bomb, tool_name)
 
 
 def _run_table2_parallel(bomb_ids: tuple[str, ...], tools: tuple[str, ...],
@@ -230,6 +241,12 @@ def _run_table2_parallel(bomb_ids: tuple[str, ...], tools: tuple[str, ...],
     result = Table2Result()
     try:
         with obs.span("table2", jobs=jobs, cells=len(pairs)):
+            trace_ctx = None
+            if recorder is not None:
+                # Stitch: workers join this trace, their top spans
+                # parented under the open "table2" span.
+                trace_ctx = (recorder.trace_id, recorder.current_span_id(),
+                             profile.active() is not None)
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(pairs))
             ) as pool:
@@ -239,7 +256,7 @@ def _run_table2_parallel(bomb_ids: tuple[str, ...], tools: tuple[str, ...],
                             if tmpdir else None)
                     futures.append(
                         (path, pool.submit(_cell_worker, bomb_id,
-                                           tool_name, path))
+                                           tool_name, path, trace_ctx))
                     )
                 for path, future in futures:
                     cell = future.result()

@@ -24,33 +24,50 @@ from .core import (
     observe,
     recording,
     span,
+    trace_context,
     uninstall,
 )
 from .export import prometheus_text, render_profile, self_time_profile
+from .profile import Profiler, profiling
 from .provenance import ProvenanceCollector, collecting
 from .sinks import JsonlSink, MemorySink
 from .stats import Aggregate, aggregate_events, read_events, render_stats
+from .traceviz import (
+    chrome_trace,
+    collapsed_stacks,
+    hotspots,
+    render_hotspots,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "Aggregate",
     "JsonlSink",
     "MemorySink",
     "NULL_SPAN",
+    "Profiler",
     "ProvenanceCollector",
     "Recorder",
     "Span",
     "active",
     "aggregate_events",
+    "chrome_trace",
+    "collapsed_stacks",
     "collecting",
     "count",
+    "hotspots",
     "install",
     "observe",
+    "profiling",
     "prometheus_text",
     "read_events",
     "recording",
+    "render_hotspots",
     "render_profile",
     "render_stats",
     "self_time_profile",
     "span",
+    "trace_context",
     "uninstall",
+    "validate_chrome_trace",
 ]

@@ -17,7 +17,9 @@ Design constraints (why the shape is what it is):
 
 from __future__ import annotations
 
+import os
 import time
+import uuid
 
 
 class Span:
@@ -30,6 +32,7 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "path", "wall_s", "cpu_s", "stage_totals",
+                 "span_id", "parent_id",
                  "_recorder", "_wall0", "_cpu0", "_counters0")
 
     def __init__(self, recorder: "Recorder", name: str, attrs: dict):
@@ -39,6 +42,8 @@ class Span:
         self.wall_s = 0.0
         self.cpu_s = 0.0
         self.stage_totals: dict[str, float] = {}
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self._recorder = recorder
 
     def set(self, key: str, value) -> None:
@@ -47,8 +52,15 @@ class Span:
 
     def __enter__(self) -> "Span":
         rec = self._recorder
+        rec._span_seq += 1
+        self.span_id = "%x.%d" % (rec.pid, rec._span_seq)
         if rec._stack:
             self.path = rec._stack[-1].path + "/" + self.name
+            self.parent_id = rec._stack[-1].span_id
+        else:
+            # Top-level span: parent is whatever span id was threaded in
+            # from a parent process (cross-process trace stitching).
+            self.parent_id = rec.parent_span_id
         rec._stack.append(self)
         self._counters0 = dict(rec.counters)
         self._wall0 = rec._wall_clock()
@@ -106,6 +118,25 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
+#: Fixed decade bucket bounds shared by every histogram: 1µs to 1Ms.
+#: Fixed bounds keep streams from different processes mergeable by key.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 7))
+
+
+def bucket_counts(values) -> dict[str, int]:
+    """Non-cumulative counts per decade bucket, keyed by upper bound
+    (``"+Inf"`` for overflow).  JSON-safe and mergeable by key."""
+    counts: dict[str, int] = {}
+    for value in values:
+        for bound in BUCKET_BOUNDS:
+            if value <= bound:
+                key = repr(bound)
+                break
+        else:
+            key = "+Inf"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
 
 class Recorder:
     """Aggregates counters/histograms/span stats and feeds sinks.
@@ -116,7 +147,9 @@ class Recorder:
     """
 
     def __init__(self, sinks=(), wall_clock=time.perf_counter,
-                 cpu_clock=time.process_time, hist_values: bool = False):
+                 cpu_clock=time.process_time, hist_values: bool = False,
+                 trace_id: str | None = None,
+                 parent_span_id: str | None = None):
         self.sinks = list(sinks)
         self.counters: dict[str, int] = {}
         self.hists: dict[str, list[float]] = {}
@@ -125,6 +158,15 @@ class Recorder:
         self._wall_clock = wall_clock
         self._cpu_clock = cpu_clock
         self._closed = False
+        #: One id per logical run.  A worker recorder is constructed with
+        #: the parent's trace id so every span in a fanned-out table2 run
+        #: belongs to a single trace; a fresh recorder mints its own.
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: Span id in the *parent process* that top-level spans of this
+        #: recorder hang under (None for the root recorder).
+        self.parent_span_id = parent_span_id
+        self.pid = os.getpid()
+        self._span_seq = 0
         #: Include raw observations in flushed ``hist`` events, so a
         #: parent recorder can :meth:`absorb` the stream exactly (the
         #: summary alone cannot be merged losslessly).  Off by default —
@@ -161,7 +203,16 @@ class Recorder:
                 "path": span.path,
                 "wall_s": round(span.wall_s, 9),
                 "cpu_s": round(span.cpu_s, 9),
+                # perf_counter is CLOCK_MONOTONIC on Linux: comparable
+                # across forked workers, so a parent can lay worker
+                # spans on its own timeline when building a trace view.
+                "ts": round(span._wall0, 7),
+                "span_id": span.span_id,
+                "trace": self.trace_id,
+                "pid": self.pid,
             }
+            if span.parent_id:
+                event["parent_id"] = span.parent_id
             if span.attrs:
                 event["attrs"] = span.attrs
             if counter_deltas:
@@ -169,6 +220,12 @@ class Recorder:
             self.emit(event)
 
     # -- reading ----------------------------------------------------------
+
+    def current_span_id(self) -> str | None:
+        """Id of the innermost open span (for threading to workers)."""
+        if self._stack:
+            return self._stack[-1].span_id
+        return self.parent_span_id
 
     @staticmethod
     def _hist_summary(values: list[float]) -> dict[str, float]:
@@ -186,6 +243,7 @@ class Recorder:
             "mean": sum(ordered) / n,
             "p50": pct(0.50),
             "p95": pct(0.95),
+            "buckets": bucket_counts(ordered),
         }
 
     def snapshot(self) -> dict:
@@ -229,6 +287,38 @@ class Recorder:
             elif kind == "hist":
                 for value in event.get("values", ()):
                     self.observe(event["name"], value)
+            elif kind == "prof":
+                # Worker profiler buckets.  Merge into this process's
+                # profiler when one is installed (it re-emits merged
+                # totals on its own flush); otherwise pass them through
+                # so the stream stays lossless.
+                from . import profile as _profile
+                prof = _profile.active()
+                if prof is not None:
+                    prof.absorb_event(event)
+                else:
+                    self.emit(event)
+
+    def abort_open_spans(self, reason: str = "aborted") -> None:
+        """Flush every still-open span with an ``aborted`` attribute.
+
+        Called from a worker's SIGTERM handler so that a killed or
+        timed-out cell still contributes its partial spans to the trace
+        instead of silently vanishing.  Innermost spans flush first,
+        preserving the children-before-parents stream invariant.
+        """
+        now_wall = self._wall_clock()
+        now_cpu = self._cpu_clock()
+        while self._stack:
+            span = self._stack[-1]
+            span.wall_s = now_wall - span._wall0
+            span.cpu_s = now_cpu - span._cpu0
+            span.attrs["aborted"] = reason
+            self._stack.pop()
+            for ancestor in self._stack:
+                totals = ancestor.stage_totals
+                totals[span.name] = totals.get(span.name, 0.0) + span.wall_s
+            self._record_span(span, {})
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -316,3 +406,12 @@ def span(name: str, **attrs):
     if rec is None:
         return NULL_SPAN
     return rec.span(name, **attrs)
+
+
+def trace_context() -> tuple[str | None, str | None]:
+    """(trace id, innermost open span id) to thread into a forked
+    worker, or ``(None, None)`` when observability is off."""
+    rec = _active
+    if rec is None:
+        return (None, None)
+    return (rec.trace_id, rec.current_span_id())

@@ -70,6 +70,24 @@ def prometheus_text(agg: Aggregate | dict) -> str:
     for name in sorted(hists):
         h = hists[name]
         metric = _metric_name(name)
+        if h.get("buckets"):
+            # Full bucket series: cumulative counts per upper bound, the
+            # native Prometheus histogram type.  Latency distributions
+            # (solver queries, stage walls) become scrapeable as-is.
+            lines.append(f"# TYPE {metric} histogram")
+            finite = sorted(
+                (b for b in h["buckets"] if b != "+Inf"), key=float)
+            cumulative = 0
+            for bound in finite:
+                cumulative += h["buckets"][bound]
+                lines.append(
+                    f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+            cumulative += h["buckets"].get("+Inf", 0)
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            if "total" in h:
+                lines.append(f"{metric}_sum {_fmt(h['total'])}")
+            lines.append(f"{metric}_count {cumulative}")
+            continue
         lines.append(f"# TYPE {metric} summary")
         for q_label, key in (("0.5", "p50"), ("0.95", "p95")):
             if key in h:

@@ -24,13 +24,23 @@ class Aggregate:
     events: int = 0
 
 
-def read_events(path) -> list[dict]:
-    """Parse a JSONL metrics file into a list of event dicts."""
+def read_events(path, strict: bool = True) -> list[dict]:
+    """Parse a JSONL metrics file into a list of event dicts.
+
+    ``strict=False`` skips undecodable lines instead of raising — the
+    stream of a worker killed mid-write legitimately ends in a torn
+    line, and the executor still wants the events before it.
+    """
     events = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict:
+                raise
     return events
 
 
@@ -58,6 +68,8 @@ def aggregate_events(events: list[dict]) -> Aggregate:
                               "p50", "p95")
                     if k in event
                 }
+                if "buckets" in event:
+                    agg.hists[name]["buckets"] = dict(event["buckets"])
             else:
                 prev["count"] += event["count"]
                 prev["total"] += event["total"]
@@ -67,6 +79,11 @@ def aggregate_events(events: list[dict]) -> Aggregate:
                 # Percentiles cannot be merged exactly; keep the widest.
                 prev["p50"] = max(prev["p50"], event["p50"])
                 prev["p95"] = max(prev["p95"], event["p95"])
+                # Bucket counts, by contrast, merge exactly by bound.
+                if "buckets" in event:
+                    merged = prev.setdefault("buckets", {})
+                    for bound, n in event["buckets"].items():
+                        merged[bound] = merged.get(bound, 0) + n
     return agg
 
 

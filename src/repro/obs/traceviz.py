@@ -1,0 +1,165 @@
+"""Trace visualisation exporters: Chrome trace-event JSON + flamegraphs.
+
+Turns a recorded span event stream (one ``table2 --trace-out`` run,
+possibly stitched from several worker processes by ``Recorder.absorb``)
+into the two interchange formats every profiling UI reads:
+
+* :func:`chrome_trace` — the Chrome trace-event format (JSON object
+  with a ``traceEvents`` array of ``"X"`` complete events).  Load the
+  file in https://ui.perfetto.dev or ``chrome://tracing``; each process
+  gets its own track, spans nest by timestamp.  Span timestamps are
+  ``time.perf_counter`` readings — CLOCK_MONOTONIC, shared across
+  forked workers — so one normalisation makes all tracks line up.
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack text
+  (``cell;trace;vm 1234`` per line, value = self-time µs), the input
+  ``flamegraph.pl`` and speedscope accept.
+* :func:`render_hotspots` — the text report behind ``repro profile``
+  and ``table2 --trace-out``: top-N (stage, PC) sinks and (guard,
+  query-latency) entries from a :class:`~repro.obs.profile.Profiler`
+  snapshot.
+"""
+
+from __future__ import annotations
+
+from .export import self_time_profile
+
+
+def _fmt_pc(pc) -> str:
+    if isinstance(pc, int):
+        return hex(pc)
+    return str(pc)
+
+
+# -- Chrome trace-event JSON ------------------------------------------------
+
+def chrome_trace(events: list[dict]) -> dict:
+    """Build a Chrome trace-event document from a span event stream.
+
+    Every span event becomes one ``"X"`` (complete) event.  The earliest
+    timestamp in the stream is the trace origin; events that predate the
+    timestamp fields (older streams) land at t=0 with their duration
+    intact, which keeps the document valid if not perfectly aligned.
+    """
+    spans = [e for e in events if e.get("t") == "span"]
+    stamps = [e["ts"] for e in spans if "ts" in e]
+    t0 = min(stamps) if stamps else 0.0
+    trace_ids = sorted({e["trace"] for e in spans if "trace" in e})
+
+    trace_events: list[dict] = []
+    root_pids = {e.get("pid", 0) for e in spans if "parent_id" not in e}
+    for pid in sorted({e.get("pid", 0) for e in spans}):
+        role = "harness" if pid in root_pids else "worker"
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": f"{role} (pid {pid})"},
+        })
+    for e in spans:
+        args = {"path": e.get("path", e.get("name", ""))}
+        if "span_id" in e:
+            args["span_id"] = e["span_id"]
+        if "parent_id" in e:
+            args["parent_id"] = e["parent_id"]
+        if "trace" in e:
+            args["trace"] = e["trace"]
+        args.update(e.get("attrs", {}))
+        trace_events.append({
+            "name": e.get("name", "?"),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round((e.get("ts", t0) - t0) * 1e6, 3),
+            "dur": round(e.get("wall_s", 0.0) * 1e6, 3),
+            "pid": e.get("pid", 0),
+            "tid": 1,
+            "args": args,
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_ids": trace_ids,
+                      "generator": "repro.obs.traceviz"},
+    }
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Structural problems in a Chrome trace-event document (empty list
+    = loadable).  Used by tests and the CI profile smoke step."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, expected object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not an array"]
+    if not any(e.get("ph") == "X" for e in events if isinstance(e, dict)):
+        problems.append("no complete ('X') events")
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        if not isinstance(e.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if e.get("ph") not in ("X", "M", "B", "E", "i"):
+            problems.append(f"event {i}: bad phase {e.get('ph')!r}")
+        if e.get("ph") == "X":
+            for field in ("ts", "dur"):
+                v = e.get(field)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(f"event {i}: bad {field} {v!r}")
+            if "pid" not in e or "tid" not in e:
+                problems.append(f"event {i}: missing pid/tid")
+    return problems
+
+
+# -- collapsed stacks (flamegraph.pl / speedscope input) --------------------
+
+def collapsed_stacks(events: list[dict]) -> str:
+    """Span stream → collapsed-stack lines weighted by self-time µs."""
+    lines = []
+    for row in self_time_profile(events):
+        self_us = int(round(row.self_s * 1e6))
+        if self_us > 0:
+            lines.append(f"{row.path.replace('/', ';')} {self_us}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- hotspot report ---------------------------------------------------------
+
+def hotspots(snapshot: dict, top: int = 10) -> dict:
+    """Top-N rows from a profiler snapshot (already sorted hottest-first)."""
+    return {"pcs": snapshot.get("pcs", [])[:top],
+            "queries": snapshot.get("queries", [])[:top]}
+
+
+def render_hotspots(snapshot: dict, top: int = 10) -> str:
+    """Text hotspot report: (stage, PC) sinks, then (guard, latency)."""
+    hot = hotspots(snapshot, top)
+    lines: list[str] = []
+    lines.append(f"Hot PCs — top {len(hot['pcs'])} (stage, pc) by "
+                 "attributed wall / steps:")
+    if hot["pcs"]:
+        lines.append(f"  {'#':>3s} {'pc':>12s} {'stage':10s}{'wall s':>10s}"
+                     f"{'steps':>10s}  cell")
+        for rank, row in enumerate(hot["pcs"], 1):
+            cell = f"{row.get('bomb') or '-'}/{row.get('tool') or '-'}"
+            lines.append(
+                f"  {rank:>3d} {_fmt_pc(row['pc']):>12s} "
+                f"{row['stage']:10s}{row['wall_s']:>10.4f}"
+                f"{row['steps']:>10d}  {cell}")
+    else:
+        lines.append("  (no PC attribution recorded)")
+    lines.append("")
+    lines.append(f"Hot guards — top {len(hot['queries'])} (pc, kind) by "
+                 "solver-query wall:")
+    if hot["queries"]:
+        lines.append(f"  {'#':>3s} {'pc':>12s} {'kind':10s}{'n':>6s}"
+                     f"{'wall s':>10s}{'max s':>9s}{'conflicts':>10s}"
+                     f"{'gates':>10s}{'learnt':>8s}  cell")
+        for rank, row in enumerate(hot["queries"], 1):
+            cell = f"{row.get('bomb') or '-'}/{row.get('tool') or '-'}"
+            lines.append(
+                f"  {rank:>3d} {_fmt_pc(row['pc']):>12s} "
+                f"{row['kind']:10s}{row['n']:>6d}{row['wall_s']:>10.4f}"
+                f"{row['max_s']:>9.4f}{row['conflicts']:>10d}"
+                f"{row['gates']:>10d}{row['learnt']:>8d}  {cell}")
+    else:
+        lines.append("  (no query telemetry recorded)")
+    return "\n".join(lines)

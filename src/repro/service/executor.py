@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .. import obs
+from ..obs import profile
 from ..bombs import get_bomb
 from ..bombs.suite import Bomb
 from ..errors import DiagnosticKind, DiagnosticLog
@@ -58,6 +59,10 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF = 0.05
 #: Driver poll interval while workers run.
 _POLL_S = 0.02
+#: Grace period between SIGTERM and SIGKILL on timeout: long enough for
+#: the worker's handler to flush partial spans, short enough that a
+#: wedged worker barely delays the driver.
+_TERM_GRACE_S = 0.5
 
 #: Environment variable for test fault injection ("<bomb>:<tool>").
 KILL_CELL_ENV = "REPRO_SERVICE_KILL_CELL"
@@ -89,19 +94,44 @@ def infrastructure_failure_cell(bomb: Bomb, tool: str, detail: str,
 
 
 def _worker_main(bomb_id: str, tool: str, attempt: int,
-                 result_path: str, metrics_path: str | None) -> None:
-    """Worker process: evaluate one cell, persist the pickled result."""
+                 result_path: str, metrics_path: str | None,
+                 trace_ctx: tuple | None = None) -> None:
+    """Worker process: evaluate one cell, persist the pickled result.
+
+    *trace_ctx* is ``(trace_id, parent_span_id, profiling)`` from the
+    driver, so the worker's spans join the campaign's trace and the
+    attribution profiler mirrors the driver's state.  A SIGTERM (the
+    driver's timeout path) flushes in-flight spans with an ``aborted``
+    attribute and the profiler's buckets before exiting, so killed
+    cells still appear in traces.
+    """
     obs.uninstall()  # inherited recorder writes to the parent's fds
+    profile.uninstall()
     kill_spec = os.environ.get(KILL_CELL_ENV)
     if kill_spec == f"{bomb_id}:{tool}" and attempt == 1:
         os.kill(os.getpid(), signal.SIGKILL)
     bomb = get_bomb(bomb_id)
     if metrics_path is not None:
+        trace_id, parent_span_id, profiling_on = \
+            trace_ctx or (None, None, False)
         recorder = obs.Recorder(sinks=[obs.JsonlSink(metrics_path)],
-                                hist_values=True)
+                                hist_values=True, trace_id=trace_id,
+                                parent_span_id=parent_span_id)
+        profiler = profile.Profiler() if profiling_on else None
+
+        def _terminated(signum, frame):
+            if profiler is not None:
+                profiler.flush_to(recorder)
+            recorder.abort_open_spans("sigterm")
+            recorder.close()
+            os._exit(128 + signal.SIGTERM)
+
+        signal.signal(signal.SIGTERM, _terminated)
         with obs.recording(recorder):
-            with obs.span("job", bomb=bomb_id, tool=tool, attempt=attempt):
-                cell = run_cell(bomb, tool)
+            with profile.profiling(profiler):
+                with obs.span("job", bomb=bomb_id, tool=tool,
+                              attempt=attempt):
+                    cell = run_cell(bomb, tool)
     else:
         cell = run_cell(bomb, tool)
     tmp = result_path + ".tmp"
@@ -194,10 +224,14 @@ class CellExecutor:
                               f"{job.job_id}-a{job.attempts}.pkl")
             metrics_path = (result_path + ".jsonl"
                             if recorder is not None else None)
+            trace_ctx = None
+            if recorder is not None:
+                trace_ctx = (recorder.trace_id, recorder.current_span_id(),
+                             profile.active() is not None)
             proc = ctx.Process(
                 target=_worker_main,
                 args=(job.bomb_id, job.tool, job.attempts,
-                      result_path, metrics_path),
+                      result_path, metrics_path, trace_ctx),
             )
             proc.start()
             now = time.monotonic()
@@ -240,8 +274,14 @@ class CellExecutor:
         on_cell(cell)
 
     def _on_timeout(self, attempt, recorder, on_cell) -> None:
-        attempt.proc.kill()
-        attempt.proc.join()
+        # SIGTERM first: the worker's handler flushes partial spans and
+        # profiler buckets before exiting.  SIGKILL only a worker too
+        # wedged to honor it within the grace period.
+        attempt.proc.terminate()
+        attempt.proc.join(_TERM_GRACE_S)
+        if attempt.proc.is_alive():
+            attempt.proc.kill()
+            attempt.proc.join()
         if os.path.exists(attempt.result_path):
             # The worker finished right at the deadline: its result is
             # fully persisted (atomic rename), so honor it.
@@ -250,6 +290,14 @@ class CellExecutor:
         job = attempt.job
         elapsed = time.monotonic() - attempt.started
         obs.count("service.cells_timeout")
+        # A timed-out job is terminal (never retried), so absorbing the
+        # partial stream cannot double-count.  The last line may be torn
+        # if SIGKILL raced the flush — skip it, keep the rest.
+        if recorder is not None and attempt.metrics_path is not None \
+                and os.path.exists(attempt.metrics_path):
+            from ..obs import read_events
+
+            recorder.absorb(read_events(attempt.metrics_path, strict=False))
         cell = infrastructure_failure_cell(
             get_bomb(job.bomb_id), job.tool,
             f"wall-clock timeout after {self.timeout:g}s", elapsed)
@@ -293,16 +341,28 @@ def run_cell_isolated(bomb: Bomb, tool: str,
         result_path = str(Path(tmpdir) / "cell.pkl")
         metrics_path = (result_path + ".jsonl"
                         if recorder is not None else None)
+        trace_ctx = None
+        if recorder is not None:
+            trace_ctx = (recorder.trace_id, recorder.current_span_id(),
+                         profile.active() is not None)
         proc = ctx.Process(target=_worker_main,
                            args=(bomb.bomb_id, tool, 1,
-                                 result_path, metrics_path))
+                                 result_path, metrics_path, trace_ctx))
         started = time.monotonic()
         proc.start()
         proc.join(timeout)
         if proc.is_alive():
-            proc.kill()
-            proc.join()
+            proc.terminate()
+            proc.join(_TERM_GRACE_S)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
             obs.count("service.cells_timeout")
+            if recorder is not None and metrics_path is not None \
+                    and os.path.exists(metrics_path):
+                from ..obs import read_events
+
+                recorder.absorb(read_events(metrics_path, strict=False))
             return infrastructure_failure_cell(
                 bomb, tool, f"wall-clock timeout after {timeout:g}s",
                 time.monotonic() - started)

@@ -54,6 +54,7 @@ class SatSolver:
         self.decisions = 0
         self.conflicts = 0
         self.restarts = 0
+        self.learnt = 0
         #: Lazy max-heap of (-activity, var); stale entries are skipped
         #: at pop time (standard VSIDS order-heap trick).
         self._order: list[tuple[float, int]] = []
@@ -288,6 +289,7 @@ class SatSolver:
                 if self._decision_level() == 0:
                     return None
                 learnt, back_level = self._analyze(conflict)
+                self.learnt += 1
                 # Backtracking below the assumption prefix is fine: the
                 # decision loop re-installs the missing assumptions.
                 self._backtrack(back_level)

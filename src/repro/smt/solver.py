@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 
 from .. import obs
+from ..obs import profile
 from ..errors import SolverError
 from .bitblast import BitBlaster
 from .expr import Expr, eval_expr, mk_bool_and
@@ -51,6 +52,9 @@ class Solver:
         #: crypto-scale formulas before any encoding work).
         self.max_nodes = max_nodes
         self.queries = 0
+        # CDCL effort of the most recent query (conflicts/gates/learnt),
+        # consumed by the attribution profiler's query telemetry.
+        self._last_query_stats: dict[str, int] = {}
 
     def add(self, expr: Expr, tag=None) -> None:
         if expr.width != 1:
@@ -74,15 +78,20 @@ class Solver:
 
     # -- queries -------------------------------------------------------------
 
-    def check(self, extra: list[Expr] | None = None) -> CheckResult:
+    def check(self, extra: list[Expr] | None = None,
+              tag=None) -> CheckResult:
         """Check satisfiability of the asserted constraints (+ *extra*).
+
+        *tag* is the ``(pc, kind)`` constraint tag of the guard this
+        query decides; when an attribution profiler is installed the
+        query's latency and CDCL effort are bucketed under it.
 
         Raises :class:`SolverError` on budget exhaustion or when a
         constraint needs a theory the bit-blaster lacks (FP, symbolic
         divisors).
         """
         self.queries += 1
-        if obs.active() is None:
+        if obs.active() is None and profile.active() is None:
             return self._check(extra)
         t0 = time.perf_counter()
         status = "error"
@@ -91,11 +100,18 @@ class Solver:
             status = result.status
             return result
         finally:
+            wall = time.perf_counter() - t0
             obs.count("smt.queries")
             obs.count(f"smt.{status}")
-            obs.observe("smt.solve_s", time.perf_counter() - t0)
+            obs.observe("smt.solve_s", wall)
+            stats = self._last_query_stats
+            profile.record_query(tag, wall, status,
+                                 conflicts=stats.get("conflicts", 0),
+                                 gates=stats.get("gates", 0),
+                                 learnt=stats.get("learnt", 0))
 
     def _check(self, extra: list[Expr] | None = None) -> CheckResult:
+        self._last_query_stats = {}
         todo = self.constraints + list(extra or [])
         # Fast constant paths.
         pending = []
@@ -127,7 +143,7 @@ class Solver:
                 raise SolverError("formula too deep to encode") from None
             model = sat.solve()
         finally:
-            report_sat_stats(sat, blaster)
+            self._last_query_stats = report_sat_stats(sat, blaster)
         if model is None:
             return CheckResult("unsat")
         return CheckResult("sat", blaster.extract_model(model))
@@ -203,6 +219,8 @@ class IncrementalSolver:
         self._last_decisions = 0
         self._last_restarts = 0
         self._last_gates = 0
+        self._last_learnt = 0
+        self._last_query_stats: dict[str, int] = {}
 
     # -- prefix ------------------------------------------------------------
 
@@ -229,8 +247,12 @@ class IncrementalSolver:
 
     # -- queries -----------------------------------------------------------
 
-    def check(self, extra: list[Expr] | Expr | None = None) -> CheckResult:
+    def check(self, extra: list[Expr] | Expr | None = None,
+              tag=None) -> CheckResult:
         """Check the asserted prefix plus *extra* (this query only).
+
+        *tag* is the ``(pc, kind)`` tag of the negated guard, fed to
+        the attribution profiler's per-query telemetry when installed.
 
         Raises :class:`SolverError` exactly where :meth:`Solver.check`
         would: budget exhaustion or an unsupported theory anywhere in
@@ -239,7 +261,7 @@ class IncrementalSolver:
         if isinstance(extra, Expr):
             extra = [extra]
         self.queries += 1
-        if obs.active() is None:
+        if obs.active() is None and profile.active() is None:
             return self._check(list(extra or []))
         t0 = time.perf_counter()
         status = "error"
@@ -248,11 +270,18 @@ class IncrementalSolver:
             status = result.status
             return result
         finally:
+            wall = time.perf_counter() - t0
             obs.count("smt.queries")
             obs.count(f"smt.{status}")
-            obs.observe("smt.solve_s", time.perf_counter() - t0)
+            obs.observe("smt.solve_s", wall)
+            stats = self._last_query_stats
+            profile.record_query(tag, wall, status,
+                                 conflicts=stats.get("conflicts", 0),
+                                 gates=stats.get("gates", 0),
+                                 learnt=stats.get("learnt", 0))
 
     def _check(self, extra: list[Expr]) -> CheckResult:
+        self._last_query_stats = {}
         if self._prefix_false:
             return CheckResult("unsat")
         pending: list[Expr] = []
@@ -299,7 +328,7 @@ class IncrementalSolver:
                 # its negation and are now satisfied).
                 sat.add_clause([activation ^ 1])
         finally:
-            self._report_stats()
+            self._last_query_stats = self._report_stats()
         if model is None:
             return CheckResult("unsat")
         return CheckResult("sat", blaster.extract_model(model))
@@ -327,45 +356,62 @@ class IncrementalSolver:
             self._encoded += 1
         return self._sat, self._blaster
 
-    def _report_stats(self) -> None:
+    def _report_stats(self) -> dict[str, int]:
         sat, blaster = self._sat, self._blaster
-        conflicts = sat.conflicts - self._last_conflicts
-        decisions = sat.decisions - self._last_decisions
-        restarts = sat.restarts - self._last_restarts
-        gates = blaster.gates - self._last_gates
+        stats = {
+            "conflicts": sat.conflicts - self._last_conflicts,
+            "decisions": sat.decisions - self._last_decisions,
+            "restarts": sat.restarts - self._last_restarts,
+            "gates": blaster.gates - self._last_gates,
+            "learnt": sat.learnt - self._last_learnt,
+        }
         self._last_conflicts = sat.conflicts
         self._last_decisions = sat.decisions
         self._last_restarts = sat.restarts
         self._last_gates = blaster.gates
+        self._last_learnt = sat.learnt
         rec = obs.active()
         if rec is None:
-            return
-        rec.count("smt.conflicts", conflicts)
-        rec.count("smt.decisions", decisions)
-        rec.count("smt.restarts", restarts)
+            return stats
+        rec.count("smt.conflicts", stats["conflicts"])
+        rec.count("smt.decisions", stats["decisions"])
+        rec.count("smt.restarts", stats["restarts"])
+        rec.count("smt.learnt", stats["learnt"])
         rec.observe("smt.clauses", len(sat.clauses))
-        rec.count("smt.gates", gates)
-        rec.observe("smt.gates_per_query", gates)
+        rec.count("smt.gates", stats["gates"])
+        rec.observe("smt.gates_per_query", stats["gates"])
+        return stats
 
 
-def report_sat_stats(sat: SatSolver, blaster: BitBlaster | None = None) -> None:
+def report_sat_stats(sat: SatSolver,
+                     blaster: BitBlaster | None = None) -> dict[str, int]:
     """Flush one SAT instance's search statistics to the recorder.
 
     Called after every query from :meth:`Solver.check` and from engines
     that drive a :class:`SatSolver` directly (model enumeration); the
     counters accumulate across queries, so ``smt.conflicts`` is the
-    total CDCL conflict work of a whole run.
+    total CDCL conflict work of a whole run.  Returns the stats so the
+    caller can attach them to per-query telemetry.
     """
+    stats = {
+        "conflicts": sat.conflicts,
+        "decisions": sat.decisions,
+        "restarts": sat.restarts,
+        "learnt": sat.learnt,
+        "gates": blaster.gates if blaster is not None else 0,
+    }
     rec = obs.active()
     if rec is None:
-        return
+        return stats
     rec.count("smt.conflicts", sat.conflicts)
     rec.count("smt.decisions", sat.decisions)
     rec.count("smt.restarts", sat.restarts)
+    rec.count("smt.learnt", sat.learnt)
     rec.observe("smt.clauses", len(sat.clauses))
     if blaster is not None:
         rec.count("smt.gates", blaster.gates)
         rec.observe("smt.gates_per_query", blaster.gates)
+    return stats
 
 
 def solve(constraints: list[Expr], max_conflicts: int = 100_000,

@@ -15,7 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..obs import provenance
+from ..obs import profile, provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, EngineError, SolverError
 from ..ir import il
@@ -74,6 +74,10 @@ class AngrEngine:
         self.syscalls = SyscallModel(self)
         self._decode_cache: dict[int, Instruction] = {}
         self._code_blob: dict[int, bytes] = {}
+        # Per-PC symbolic step tally; exists only while an attribution
+        # profiler is installed so the step loop pays one None check.
+        self._prof_pcs: dict[int, int] | None = \
+            {} if profile.active() is not None else None
         self._fresh = 0
         self.computation_vars: set[str] = set()
         self.input_vars: set[str] = set()
@@ -104,6 +108,9 @@ class AngrEngine:
         """Directed search for the ``bomb`` symbol from a symbolic argv."""
         with obs.span("explore", tool=self.policy.name):
             report = self._explore(seed_argv, argv0)
+        if self._prof_pcs:
+            profile.record_pcs("explore", self._prof_pcs)
+            self._prof_pcs = {}
         obs.count("symex.states", report.states_explored)
         obs.count("symex.steps", report.steps)
         obs.count("symex.queries", report.queries)
@@ -262,7 +269,7 @@ class AngrEngine:
                         self.policy.solver_nodes)
         solver.extend(state.constraints)
         with obs.span("solve", pc=state.pc, tool=self.policy.name):
-            return solver.check(extra)
+            return solver.check(extra, tag=(state.pc, "explore"))
 
     def _ensure_model(self, state: SymState) -> None:
         for c in state.constraints:
@@ -374,6 +381,9 @@ class AngrEngine:
             if hook is not None:
                 self._run_hook(state, hook)
                 continue
+            pcs = self._prof_pcs
+            if pcs is not None:
+                pcs[state.pc] = pcs.get(state.pc, 0) + 1
             instr = self._fetch(state.pc)
             new_forks = self._execute(state, instr)
             state.steps += 1

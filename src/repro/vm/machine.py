@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .. import obs
+from ..obs import profile
 from ..binfmt import Image
 from ..errors import VMError
 from ..isa import (
@@ -120,6 +121,11 @@ class Machine:
         # instruction when observability is off.
         recording = obs.active() is not None
         self._opcode_counts: dict[str, int] | None = {} if recording else None
+        # Per-PC tallies exist only while an attribution profiler is
+        # installed — same gate-at-construction discipline, so the step
+        # loop stays one None-check when profiling is off.
+        self._pc_counts: dict[int, int] | None = \
+            {} if profile.active() is not None else None
         self._syscall_counts: dict[int, int] = {}
         self._signals_delivered = 0
         # Hooks (used by the tracing layer).
@@ -222,6 +228,11 @@ class Machine:
 
     def _flush_metrics(self, steps0: int, signals0: int) -> None:
         """Report this run's tallies to the installed recorder, if any."""
+        if self._pc_counts:
+            # One flush per run(): the profiler derives the stage (trace,
+            # replay, ...) from the innermost open span.
+            profile.record_vm(self._pc_counts)
+            self._pc_counts = {}
         rec = obs.active()
         if rec is None:
             return
@@ -283,6 +294,9 @@ class Machine:
         if counts is not None:
             name = instr.op.name
             counts[name] = counts.get(name, 0) + 1
+        pcs = self._pc_counts
+        if pcs is not None:
+            pcs[pc] = pcs.get(pc, 0) + 1
         if self.on_step:
             self.on_step(proc, thread, instr)
         self._execute(proc, thread, instr)

@@ -22,6 +22,7 @@ BASELINE = {
     "solved_counts": {"bapx": 2, "tritonx": 1},
     "agreement": {"matched": 87, "labelled": 88},
     "solver": {"queries": 1000, "prefix_reuse": 700},
+    "stage_wall_s": {"explore": 60.0, "solve": 30.0, "trace": 5.0},
 }
 
 
@@ -81,6 +82,31 @@ class TestCompare:
 
     def test_missing_counters_are_skipped(self):
         assert bench_check.compare(BASELINE, candidate(solver={})) == []
+
+    def test_stage_wall_regression_fails(self):
+        problems = bench_check.compare(
+            BASELINE, candidate(stage_wall_s__explore=80.0))
+        assert any("stage_wall_s.explore" in p for p in problems)
+        problems = bench_check.compare(
+            BASELINE, candidate(stage_wall_s__solve=40.0))
+        assert any("stage_wall_s.solve" in p for p in problems)
+
+    def test_stage_wall_uses_the_wall_tolerance(self):
+        cand = candidate(stage_wall_s__explore=90.0)
+        assert bench_check.compare(BASELINE, cand, wall_tolerance=1.0) == []
+        assert bench_check.compare(BASELINE, cand) != []
+
+    def test_ungated_stage_growth_passes(self):
+        # trace/lift/extract are tiny and noisy; only explore/solve gate.
+        assert bench_check.compare(
+            BASELINE, candidate(stage_wall_s__trace=50.0)) == []
+
+    def test_missing_stage_walls_are_skipped(self):
+        assert bench_check.compare(BASELINE,
+                                   candidate(stage_wall_s={})) == []
+        stageless = {k: v for k, v in BASELINE.items()
+                     if k != "stage_wall_s"}
+        assert bench_check.compare(stageless, candidate()) == []
 
 
 class TestMain:
