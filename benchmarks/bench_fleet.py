@@ -1,0 +1,55 @@
+"""Fleet identity: a 2-worker fleet run equals a single-process run.
+
+The acceptance criterion of the fleet subsystem (ISSUE 7): a campaign
+drained by detached lease-based workers renders exactly the Table II
+slice a single-process ``campaign run`` produces — same labels, same
+cells, no cell executed twice — and the fleet-produced store then
+serves a ``table2 --cache`` rerun entirely from cache.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.eval import render_table2, run_table2
+from repro.service import CampaignService, CampaignSpec, run_fleet
+
+BOMBS = ("cp_stack", "sv_time", "cp_file", "sv_arglen")
+TOOLS = ("tritonx", "bapx")
+
+
+def _fleet_run(root) -> tuple[str, CampaignService]:
+    service = CampaignService(root)
+    cid = service.submit(CampaignSpec(bombs=BOMBS, tools=TOOLS))
+    run_fleet(root, jobs=2, poll_s=0.02, drain=True)
+    return cid, service
+
+
+def test_fleet_matches_single_process(once):
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        root = Path(tmp) / "svc"
+        cid, service = once(_fleet_run, root)
+
+        status = service.status(cid)
+        assert status["states"]["done"] == len(BOMBS) * len(TOOLS)
+        assert status["states"]["exhausted"] == 0
+        fleet_render = render_table2(service.results(cid))
+
+        solo_svc = CampaignService(Path(tmp) / "solo")
+        solo = solo_svc.run(solo_svc.submit(
+            CampaignSpec(bombs=BOMBS, tools=TOOLS)))
+        assert fleet_render == render_table2(solo.table)
+
+        # The fleet-produced store serves a table2 rerun from cache:
+        # zero analyses, every label already present.
+        recorder = obs.Recorder()
+        with obs.recording(recorder, close=False):
+            cached = run_table2(bomb_ids=BOMBS, tools=TOOLS,
+                                cache=str(root / "store"), verbose=False)
+        counters = recorder.snapshot()["counters"]
+        assert counters["service.cache_hits"] == len(BOMBS) * len(TOOLS)
+        assert counters.get("service.cache_misses", 0) == 0
+        assert render_table2(cached) == fleet_render
+
+        once.benchmark.extra_info["cells"] = len(BOMBS) * len(TOOLS)
+        once.benchmark.extra_info["results"] = status["results"]

@@ -211,8 +211,8 @@ def cmd_table2(args) -> int:
 
     bombs = tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS
     tools = tuple(args.tools) if args.tools else TOOL_COLUMNS
-    if args.jobs is not None and args.jobs < 1:
-        raise SystemExit("table2: --jobs must be >= 1")
+    if args.jobs is not None and args.jobs < 0:
+        raise SystemExit("table2: --jobs must be >= 0 (0 = auto-detect)")
     if args.timeout is not None and args.timeout <= 0:
         raise SystemExit("table2: --timeout must be > 0 seconds")
     if args.explain:
@@ -354,21 +354,47 @@ def _campaign_service(args):
 
 
 def cmd_campaign_submit(args) -> int:
+    import dataclasses
+
     from .bombs import TABLE2_BOMB_IDS, TOOL_COLUMNS
-    from .service import CampaignSpec
+    from .service import CampaignSpec, QuotaExceeded, SpecError, load_spec_file
 
     if args.jobs < 1:
         raise SystemExit("campaign: --jobs must be >= 1")
     service = _campaign_service(args)
-    spec = CampaignSpec(
-        bombs=tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS,
-        tools=tuple(args.tools) if args.tools else TOOL_COLUMNS,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        name=args.name or "",
-    )
-    cid = service.submit(spec)
+    if args.spec:
+        try:
+            spec = load_spec_file(args.spec)
+        except SpecError as err:
+            raise SystemExit(f"campaign submit: {err}")
+        if args.bombs or args.tools:
+            raise SystemExit("campaign submit: --spec already selects the "
+                             "matrix; drop --bombs/--tools")
+        # Command-line execution knobs override the document's.
+        overrides = {}
+        if args.name:
+            overrides["name"] = args.name
+        if args.tenant:
+            overrides["tenant"] = args.tenant
+        if args.timeout is not None:
+            overrides["timeout"] = args.timeout
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    else:
+        spec = CampaignSpec(
+            bombs=tuple(args.bombs) if args.bombs else TABLE2_BOMB_IDS,
+            tools=tuple(args.tools) if args.tools else TOOL_COLUMNS,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            name=args.name or "",
+            tenant=args.tenant or "",
+        )
+    try:
+        cid = service.submit(spec)
+    except QuotaExceeded as err:
+        print(f"campaign submit: quota rejected: {err}", file=sys.stderr)
+        return 3
     print(f"submitted {cid}: {len(spec.bombs)} bombs x {len(spec.tools)} "
           f"tools = {len(spec.cells())} cells")
     if args.run:
@@ -395,7 +421,14 @@ def cmd_campaign_status(args) -> int:
             raise SystemExit("campaign status: --watch needs a campaign id")
         if args.interval <= 0:
             raise SystemExit("campaign status: --interval must be > 0")
-        watch_status(service, args.campaign, interval=args.interval)
+        final = watch_status(service, args.campaign, interval=args.interval)
+        exhausted = final["states"]["exhausted"]
+        if exhausted:
+            # Scripts and CI gate on this: the campaign *finished*, but
+            # some cells ended E only because retries ran out.
+            print(f"watch: campaign ended with {exhausted} exhausted "
+                  "cell(s)", file=sys.stderr)
+            return 1
         return 0
     if args.campaign is None:
         cids = service.campaigns()
@@ -423,6 +456,49 @@ def cmd_campaign_results(args) -> int:
         print(json.dumps(result.to_json(), indent=2))
     else:
         print(render_table2(result))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from . import obs
+    from .service import serve_forever
+
+    if args.poll <= 0:
+        raise SystemExit("serve: --poll must be > 0")
+    sinks = []
+    if args.metrics_out is not None:
+        try:
+            sinks.append(obs.JsonlSink(args.metrics_out))
+        except OSError as err:
+            raise SystemExit(f"cannot open {args.metrics_out}: "
+                             f"{err.strerror}")
+    recorder = obs.Recorder(sinks=sinks, hist_values=True)
+
+    def ready(bound):
+        host, port = bound
+        print(f"serving campaign API on http://{host}:{port} "
+              f"(root {args.root})", flush=True)
+        print("submit with: curl -X POST --data @spec.json "
+              f"http://{host}:{port}/campaigns", flush=True)
+
+    with obs.recording(recorder):
+        serve_forever(args.root, args.host, args.port,
+                      recorder=recorder, poll_s=args.poll, ready=ready)
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from .service import run_fleet
+
+    if args.jobs < 0:
+        raise SystemExit("worker: --jobs must be >= 0 (0 = auto-detect)")
+    if args.lease <= 0:
+        raise SystemExit("worker: --lease must be > 0 seconds")
+    started = run_fleet(args.root, args.jobs, lease_s=args.lease,
+                        poll_s=args.poll, drain=args.drain,
+                        max_idle=args.max_idle,
+                        metrics_out=args.metrics_out)
+    print(f"worker: {started} loop(s) exited (root {args.root})")
     return 0
 
 
@@ -512,7 +588,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tools", nargs="*")
     p.add_argument("--jobs", type=int, metavar="N",
                    help="evaluate cells on N worker processes "
-                        "(default: serial, byte-identical output)")
+                        "(default: serial, byte-identical output; "
+                        "0 = one per usable CPU)")
     p.add_argument("--timeout", type=float, metavar="SECONDS",
                    help="per-cell wall-clock budget; an overrun kills the "
                         "cell's worker and classifies the cell E")
@@ -591,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash retries per cell before it is "
                         "classified E (default 2)")
     c.add_argument("--name", metavar="LABEL")
+    c.add_argument("--tenant", metavar="TENANT",
+                   help="quota-accounting tag (budgets in "
+                        "<root>/quotas.json)")
+    c.add_argument("--spec", metavar="FILE",
+                   help="submit a declarative spec document instead of "
+                        "flags (.json or .toml; see the README's spec "
+                        "format)")
     c.add_argument("--run", action="store_true",
                    help="drive the campaign to completion immediately")
     c.add_argument("--metrics-out", metavar="FILE.jsonl")
@@ -622,6 +706,53 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--root", default=".repro-service", metavar="DIR")
     c.add_argument("--json", action="store_true")
     c.set_defaults(func=cmd_campaign_results)
+
+    p = sub.add_parser(
+        "serve",
+        help="asyncio HTTP API over a service root: submit/status/"
+             "results, NDJSON progress streams, Prometheus /metrics")
+    p.add_argument("--root", default=".repro-service", metavar="DIR",
+                   help="service root shared with the workers "
+                        "(default ./.repro-service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8737,
+                   help="TCP port (default 8737; 0 = ephemeral)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                   help="status poll cadence of the /events stream "
+                        "(default 0.5s)")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="also stream the server recorder's events to "
+                        "FILE (JSONL)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="fleet worker: pull cells from every campaign under a "
+             "shared root with lease-based claims")
+    p.add_argument("--root", "--store", dest="root",
+                   default=".repro-service", metavar="DIR",
+                   help="service root shared with `repro serve` and the "
+                        "other workers (default ./.repro-service)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker loops to fork (default 1; 0 = one per "
+                        "usable CPU)")
+    p.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                   help="claim lease duration; a worker missing two "
+                        "renewal heartbeats forfeits its cell "
+                        "(default 30s)")
+    p.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                   help="idle poll cadence while no cell is claimable "
+                        "(default 0.2s)")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once every campaign under the root is "
+                        "terminal (batch/CI mode; default: keep "
+                        "polling for new campaigns)")
+    p.add_argument("--max-idle", type=float, metavar="SECONDS",
+                   help="exit after this long without claiming a cell")
+    p.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream worker metrics to FILE (with --jobs N, "
+                        "each loop writes FILE.<i>)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("stats", help="summarize a --metrics-out JSONL file")
     p.add_argument("metrics", help="path to a FILE.jsonl event stream")

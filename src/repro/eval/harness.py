@@ -285,6 +285,10 @@ def run_table2(
     *jobs* > 1 evaluates the independent (bomb, tool) cells on a
     process pool; the default serial path is byte-identical to previous
     releases, and a parallel run produces the same outcome matrix.
+    ``jobs=0`` auto-sizes the pool to the host's usable CPUs
+    (:func:`repro.service.fleet.auto_jobs` — the process CPU count
+    where the platform reports one, else the scheduling affinity mask,
+    else ``os.cpu_count()``).
 
     *cache* (a :class:`repro.service.ResultStore` or a directory path)
     serves unchanged cells from the content-addressed store and stores
@@ -298,6 +302,10 @@ def run_table2(
         from ..service.store import ResultStore
 
         store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
+    if jobs == 0:
+        from ..service.fleet import auto_jobs
+
+        jobs = auto_jobs()
     if jobs is not None and jobs > 1:
         if store is None and timeout is None:
             return _run_table2_parallel(tuple(bomb_ids), tuple(tools),

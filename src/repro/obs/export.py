@@ -25,6 +25,10 @@ from .stats import Aggregate
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: Content type the Prometheus text exposition format is served under
+#: (``GET /metrics`` on the campaign API).
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _metric_name(name: str) -> str:
     return "repro_" + _NAME_RE.sub("_", name)
@@ -98,6 +102,30 @@ def prometheus_text(agg: Aggregate | dict) -> str:
         if "count" in h:
             lines.append(f"{metric}_count {int(h['count'])}")
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def _label_str(labels: dict) -> str:
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}" if inner else ""
+
+
+def prometheus_gauges(name: str,
+                      samples: list[tuple[dict, float]]) -> str:
+    """Render one labelled gauge family as Prometheus text.
+
+    Covers live state no counter can express — e.g. the campaign API's
+    per-campaign/per-state job gauges::
+
+        prometheus_gauges("campaign_jobs",
+                          [({"campaign": cid, "state": "pending"}, 3.0)])
+    """
+    if not samples:
+        return ""
+    metric = _metric_name(name)
+    lines = [f"# TYPE {metric} gauge"]
+    for labels, value in samples:
+        lines.append(f"{metric}{_label_str(labels)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
 
 
 @dataclass

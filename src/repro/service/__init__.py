@@ -13,10 +13,26 @@ Turns the one-shot Table II harness into a durable analysis service:
   :class:`CellExecutor` (per-cell wall-clock timeouts, crash requeue
   with backoff, bounded retries, exact metrics absorption);
 * :mod:`~repro.service.campaign` — the :class:`CampaignService` client
-  API behind ``repro campaign submit/run/status/results``.
+  API behind ``repro campaign submit/run/status/results``;
+* :mod:`~repro.service.spec` — declarative JSON/TOML campaign specs
+  (selector resolution, strict validation, per-tenant quotas);
+* :mod:`~repro.service.fleet` — lease-based multi-host workers over a
+  shared journal (``repro worker``);
+* :mod:`~repro.service.api` — the asyncio HTTP front door
+  (``repro serve``): submit/status/results, NDJSON progress streams,
+  Prometheus ``/metrics``.
 """
 
-from .campaign import CampaignReport, CampaignService, CampaignSpec, watch_status
+from .api import CampaignAPI, serve_forever, start_api
+from .campaign import (
+    CampaignReport,
+    CampaignService,
+    CampaignSpec,
+    render_status_line,
+    status_events,
+    status_finished,
+    watch_status,
+)
 from .executor import (
     DEFAULT_BACKOFF,
     DEFAULT_RETRIES,
@@ -33,29 +49,69 @@ from .fingerprint import (
     harness_fingerprint,
     image_digest,
 )
+from .fleet import (
+    DEFAULT_LEASE_S,
+    FleetQueue,
+    FleetWorker,
+    WorkerStats,
+    auto_jobs,
+    run_fleet,
+    run_worker,
+)
 from .queue import Job, JobQueue
+from .spec import (
+    QuotaExceeded,
+    SpecError,
+    TenantQuota,
+    build_spec,
+    check_quota,
+    load_quotas,
+    load_spec_file,
+    parse_spec_text,
+)
 from .store import ResultStore, decode_cell, encode_cell
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CampaignAPI",
     "CampaignReport",
     "CampaignService",
     "CampaignSpec",
     "CellExecutor",
     "DEFAULT_BACKOFF",
+    "DEFAULT_LEASE_S",
     "DEFAULT_RETRIES",
+    "FleetQueue",
+    "FleetWorker",
     "Job",
     "JobQueue",
     "KILL_CELL_ENV",
+    "QuotaExceeded",
     "ResultStore",
+    "SpecError",
+    "TenantQuota",
+    "WorkerStats",
+    "auto_jobs",
     "bomb_fingerprint",
+    "build_spec",
     "cell_key",
+    "check_quota",
     "decode_cell",
     "encode_cell",
     "execute_matrix",
     "harness_fingerprint",
     "image_digest",
     "infrastructure_failure_cell",
+    "load_quotas",
+    "load_spec_file",
+    "parse_spec_text",
+    "render_status_line",
     "run_cell_isolated",
+    "run_fleet",
+    "run_worker",
+    "serve_forever",
+    "start_api",
+    "status_events",
+    "status_finished",
     "watch_status",
 ]

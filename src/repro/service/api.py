@@ -1,0 +1,285 @@
+"""Async HTTP front door for the campaign service (``repro serve``).
+
+A dependency-free asyncio HTTP/1.1 server over one service root — the
+control plane of a fleet whose data plane is ``repro worker``
+processes.  Submitting here executes nothing: it persists the spec and
+enqueues the cells; any worker sharing the root's filesystem picks them
+up under lease-based claims.
+
+Endpoints::
+
+    GET  /                      endpoint index
+    POST /campaigns             submit a declarative spec (JSON body)
+    GET  /campaigns             all campaigns with state counts
+    GET  /campaigns/{id}        one campaign's status snapshot
+    GET  /campaigns/{id}/results  the assembled matrix as JSON
+    GET  /campaigns/{id}/events   NDJSON progress stream: one status
+                                  snapshot per poll until terminal
+    GET  /metrics               Prometheus text exposition (the server
+                                recorder's counters/spans/histograms +
+                                live per-campaign job-state gauges)
+
+Errors are JSON bodies: a malformed spec is 400 (the validator's
+message names the offending field), an unknown campaign 404, an
+over-quota submit 429 with the tenant's budget arithmetic.
+
+The event stream reuses the ``watch_status`` machinery
+(:func:`~repro.service.campaign.status_events`): same snapshots, same
+termination rule, paced here by ``await asyncio.sleep`` so hundreds of
+watchers cost one coroutine each, not a thread.  Responses are
+connection-delimited (``Connection: close``), which keeps streaming
+trivially correct for any HTTP client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from .. import obs
+from ..obs.export import PROM_CONTENT_TYPE, prometheus_gauges, prometheus_text
+from .campaign import CampaignService, status_events
+from .spec import QuotaExceeded, SpecError, build_spec
+
+_JSON = "application/json"
+_NDJSON = "application/x-ndjson"
+
+
+class ApiError(Exception):
+    """An HTTP error response with a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+class CampaignAPI:
+    """The HTTP handler over one :class:`CampaignService` root."""
+
+    def __init__(self, root: str | os.PathLike, *,
+                 recorder: obs.Recorder | None = None,
+                 poll_s: float = 0.5):
+        self.service = CampaignService(root)
+        self.recorder = recorder
+        self.poll_s = poll_s
+
+    # -- plumbing --------------------------------------------------------
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One connection: parse, route, respond, close."""
+        try:
+            method, path, body = await self._read_request(reader)
+        except (asyncio.IncompleteReadError, ValueError, ConnectionError):
+            writer.close()
+            return
+        obs.count("service.http_requests")
+        try:
+            await self._route(method, path, body, writer)
+        except ApiError as err:
+            obs.count("service.http_errors")
+            await self._respond(writer, err.status,
+                                json.dumps({"error": err.message}) + "\n")
+        except ConnectionError:
+            pass  # client went away mid-stream
+        except Exception as err:  # noqa: BLE001 - server must not die
+            obs.count("service.http_errors")
+            try:
+                await self._respond(
+                    writer, 500,
+                    json.dumps({"error": f"{type(err).__name__}: {err}"})
+                    + "\n")
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader):
+        request_line = (await reader.readline()).decode("latin1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        body = b""
+        if content_length:
+            body = await reader.readexactly(content_length)
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _respond(self, writer, status: int, body: str,
+                       content_type: str = _JSON) -> None:
+        payload = body.encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin1") + payload)
+        await writer.drain()
+
+    async def _start_stream(self, writer, content_type: str) -> None:
+        head = ("HTTP/1.1 200 OK\r\n"
+                f"Content-Type: {content_type}\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin1"))
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(self, method, path, body, writer) -> None:
+        segments = [s for s in path.split("/") if s]
+        if not segments:
+            await self._respond(writer, 200, json.dumps({
+                "service": "repro campaign fleet",
+                "endpoints": [
+                    "POST /campaigns", "GET /campaigns",
+                    "GET /campaigns/{id}", "GET /campaigns/{id}/results",
+                    "GET /campaigns/{id}/events", "GET /metrics",
+                ]}, indent=2) + "\n")
+            return
+        if segments == ["metrics"]:
+            if method != "GET":
+                raise ApiError(405, "metrics is GET-only")
+            await self._respond(writer, 200, self._metrics_text(),
+                                content_type=PROM_CONTENT_TYPE)
+            return
+        if segments[0] != "campaigns" or len(segments) > 3:
+            raise ApiError(404, f"no such endpoint {path!r}")
+        if len(segments) == 1:
+            if method == "POST":
+                await self._submit(body, writer)
+            elif method == "GET":
+                await self._list(writer)
+            else:
+                raise ApiError(405, f"{method} not allowed on /campaigns")
+            return
+        if method != "GET":
+            raise ApiError(405, f"{method} not allowed on {path!r}")
+        cid = segments[1]
+        try:
+            self.service.spec(cid)
+        except (KeyError, OSError):
+            raise ApiError(404, f"unknown campaign {cid!r}")
+        if len(segments) == 2:
+            await self._respond(writer, 200,
+                                json.dumps(self.service.status(cid),
+                                           indent=2) + "\n")
+        elif segments[2] == "results":
+            await self._respond(writer, 200,
+                                json.dumps(self.service.results(cid).to_json(),
+                                           indent=2) + "\n")
+        elif segments[2] == "events":
+            await self._events(cid, writer)
+        else:
+            raise ApiError(404, f"no such endpoint {path!r}")
+
+    # -- endpoints -------------------------------------------------------
+
+    async def _submit(self, body: bytes, writer) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as err:
+            raise ApiError(400, f"request body is not JSON: {err}")
+        if not isinstance(doc, dict):
+            raise ApiError(400, "spec must be a JSON object")
+        try:
+            spec = build_spec(doc)
+        except SpecError as err:
+            raise ApiError(400, str(err))
+        try:
+            cid = self.service.submit(spec)
+        except QuotaExceeded as err:
+            raise ApiError(429, str(err))
+        await self._respond(writer, 201, json.dumps({
+            "campaign": cid,
+            "cells": len(spec.cells()),
+            "bombs": list(spec.bombs),
+            "tools": list(spec.tools),
+            "tenant": spec.tenant,
+        }, indent=2) + "\n")
+
+    async def _list(self, writer) -> None:
+        rows = [self.service.status(cid)
+                for cid in self.service.campaigns()]
+        await self._respond(writer, 200,
+                            json.dumps({"campaigns": rows}, indent=2) + "\n")
+
+    async def _events(self, cid: str, writer) -> None:
+        """NDJSON progress: one status line per poll until terminal."""
+        await self._start_stream(writer, _NDJSON)
+        for status in status_events(self.service, cid):
+            writer.write((json.dumps(status, separators=(",", ":"))
+                          + "\n").encode("utf-8"))
+            await writer.drain()
+            obs.count("service.events_streamed")
+            if not status["final"]:
+                await asyncio.sleep(self.poll_s)
+
+    def _metrics_text(self) -> str:
+        text = ""
+        if self.recorder is not None:
+            text += prometheus_text(self.recorder.snapshot())
+        samples = []
+        for cid in self.service.campaigns():
+            states = self.service.status(cid)["states"]
+            for state, count in sorted(states.items()):
+                samples.append(({"campaign": cid, "state": state},
+                                float(count)))
+        text += prometheus_gauges("campaign_jobs", samples)
+        return text or "# no metrics yet\n"
+
+
+async def start_api(root: str | os.PathLike, host: str = "127.0.0.1",
+                    port: int = 8737, *,
+                    recorder: obs.Recorder | None = None,
+                    poll_s: float = 0.5):
+    """Bind the API; returns ``(asyncio.Server, CampaignAPI)``.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.sockets[0].getsockname()``.
+    """
+    api = CampaignAPI(root, recorder=recorder, poll_s=poll_s)
+    server = await asyncio.start_server(api.handle, host, port)
+    return server, api
+
+
+def serve_forever(root: str | os.PathLike, host: str = "127.0.0.1",
+                  port: int = 8737, *,
+                  recorder: obs.Recorder | None = None,
+                  poll_s: float = 0.5, ready=None) -> None:
+    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop).
+
+    *ready* (callable, optional) receives the bound ``(host, port)``
+    once listening — the tests' synchronization hook.
+    """
+
+    async def _main():
+        server, _api = await start_api(root, host, port,
+                                       recorder=recorder, poll_s=poll_s)
+        bound = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready(bound)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

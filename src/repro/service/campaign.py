@@ -46,6 +46,11 @@ class CampaignSpec:
     timeout: float | None = None
     retries: int = DEFAULT_RETRIES
     name: str = ""
+    #: Quota-accounting tag: submissions are budgeted per tenant (see
+    #: :func:`repro.service.spec.check_quota`).  Not part of the
+    #: workload digest — two tenants evaluating the same matrix share
+    #: the content-addressed store.
+    tenant: str = ""
 
     def cells(self) -> list[tuple[str, str]]:
         return [(b, t) for b in self.bombs for t in self.tools]
@@ -64,6 +69,7 @@ class CampaignSpec:
             "timeout": self.timeout,
             "retries": self.retries,
             "name": self.name,
+            "tenant": self.tenant,
         }
 
     @classmethod
@@ -75,6 +81,7 @@ class CampaignSpec:
             timeout=doc.get("timeout"),
             retries=doc.get("retries", DEFAULT_RETRIES),
             name=doc.get("name", ""),
+            tenant=doc.get("tenant", ""),
         )
 
 
@@ -110,7 +117,15 @@ class CampaignService:
     # -- verbs -----------------------------------------------------------
 
     def submit(self, spec: CampaignSpec) -> str:
-        """Persist *spec*, enqueue its cells, return the campaign id."""
+        """Persist *spec*, enqueue its cells, return the campaign id.
+
+        Raises :class:`repro.service.spec.QuotaExceeded` when the
+        tenant's outstanding-cell budget (``<root>/quotas.json``) would
+        be exceeded.
+        """
+        from .spec import check_quota
+
+        check_quota(self, spec)
         base = f"c{spec.workload_digest()[:8]}"
         seq = 1
         while (self._campaigns_dir / f"{base}-{seq}").exists():
@@ -144,9 +159,16 @@ class CampaignService:
         return CampaignReport(campaign_id=cid, table=result, stats=stats)
 
     def status(self, cid: str) -> dict:
-        """Queue-level progress snapshot (does not execute anything)."""
+        """Queue-level progress snapshot (does not execute anything).
+
+        Reads with ``recover_claims=False``: a claim held by a live
+        fleet worker on another host must report as *claimed*, not be
+        virtually reverted to pending the way a driver's crash-recovery
+        replay would.
+        """
         spec = self.spec(cid)
-        with JobQueue(self._campaign_dir(cid) / "queue.jsonl") as queue:
+        with JobQueue(self._campaign_dir(cid) / "queue.jsonl",
+                      recover_claims=False) as queue:
             counts = queue.counts()
             results: dict[str, int] = {}
             for job in queue.ordered_jobs():
@@ -155,6 +177,7 @@ class CampaignService:
         return {
             "campaign": cid,
             "name": spec.name,
+            "tenant": spec.tenant,
             "cells": len(spec.cells()),
             "states": counts,
             "results": results,
@@ -196,37 +219,70 @@ class CampaignService:
         return cdir
 
 
+def status_finished(status: dict) -> bool:
+    """True when every job is terminal (done or exhausted)."""
+    states = status["states"]
+    return states["pending"] + states["claimed"] == 0
+
+
+def status_events(service: CampaignService, cid: str,
+                  max_polls: int | None = None):
+    """Yield status snapshots until the campaign is terminal.
+
+    The shared progress machinery behind both front doors: ``campaign
+    status --watch`` prints one line per snapshot, the HTTP API streams
+    each snapshot as one NDJSON line (``GET /campaigns/{id}/events``).
+    The generator never sleeps — the consumer paces it (a blocking
+    ``time.sleep`` or an ``await asyncio.sleep``) — and each snapshot
+    carries a ``"final"`` flag so consumers need no duplicated
+    termination logic.
+    """
+    polls = 0
+    while True:
+        status = service.status(cid)
+        polls += 1
+        done = status_finished(status) or \
+            (max_polls is not None and polls >= max_polls)
+        status["final"] = done
+        yield status
+        if done:
+            return
+
+
+def render_status_line(status: dict) -> str:
+    """One-line progress rendering of a status snapshot."""
+    states = status["states"]
+    line = (f"{status['campaign']}: pending={states['pending']} "
+            f"claimed={states['claimed']} done={states['done']} "
+            f"exhausted={states['exhausted']}")
+    if status["results"]:
+        labels = " ".join(f"{k}={v}" for k, v
+                          in sorted(status["results"].items()))
+        line += f"  [{labels}]"
+    return line
+
+
 def watch_status(service: CampaignService, cid: str,
                  interval: float = 2.0, stream=None,
                  sleep=None, max_polls: int | None = None) -> dict:
     """Poll a campaign until no job is pending or claimed.
 
     Prints one progress line per poll to *stream* (default stdout) and
-    returns the final status snapshot.  *sleep* and *max_polls* exist
-    for tests (inject a fake clock / bound the loop); the production
-    path (``repro campaign status --watch``) uses the real clock and no
-    poll bound.
+    returns the final status snapshot — check its
+    ``states["exhausted"]`` to gate scripts/CI on cells that ended
+    ``E`` after retries (``campaign status --watch`` exits non-zero on
+    them).  *sleep* and *max_polls* exist for tests (inject a fake
+    clock / bound the loop); the production path uses the real clock
+    and no poll bound.
     """
     import sys
     import time
 
     out = stream if stream is not None else sys.stdout
     tick = sleep if sleep is not None else time.sleep
-    polls = 0
-    while True:
-        status = service.status(cid)
-        states = status["states"]
-        line = (f"{cid}: pending={states['pending']} "
-                f"claimed={states['claimed']} done={states['done']} "
-                f"exhausted={states['exhausted']}")
-        if status["results"]:
-            labels = " ".join(f"{k}={v}" for k, v
-                              in sorted(status["results"].items()))
-            line += f"  [{labels}]"
-        print(line, file=out, flush=True)
-        polls += 1
-        if states["pending"] + states["claimed"] == 0:
-            return status
-        if max_polls is not None and polls >= max_polls:
-            return status
-        tick(interval)
+    status: dict = {}
+    for status in status_events(service, cid, max_polls=max_polls):
+        print(render_status_line(status), file=out, flush=True)
+        if not status["final"]:
+            tick(interval)
+    return status

@@ -4,7 +4,9 @@ The queue is an append-only journal (``queue.jsonl``).  Every state
 transition is one flushed-and-fsynced line::
 
     {"t": "submit",  "id": ..., "bomb": ..., "tool": ...}
-    {"t": "claim",   "id": ..., "worker": ..., "attempt": N}
+    {"t": "claim",   "id": ..., "worker": ..., "attempt": N,
+                     "lease_until": T?}
+    {"t": "renew",   "id": ..., "worker": ..., "lease_until": T}
     {"t": "requeue", "id": ..., "reason": ..., "not_before": T}
     {"t": "done",    "id": ..., "result": "computed"|"cached"|"timeout"|...}
     {"t": "exhaust", "id": ..., "reason": ...}
@@ -20,8 +22,17 @@ requeued job is pending but unclaimable until its backoff deadline.
 A truncated trailing line (torn write on power loss) is ignored.
 
 One campaign driver owns a queue at a time — the journal serializes a
-single writer's transitions across crashes; it is not a multi-writer
-coordination protocol.
+single writer's transitions across crashes.  Multi-writer coordination
+(N worker processes sharing one journal over a filesystem) is layered
+on top by :class:`repro.service.fleet.FleetQueue`, which adds an
+exclusive lock around transitions and **lease-based claims**: a claim
+carries a wall-clock ``lease_until`` deadline, a live worker renews it
+with ``renew`` records, and a claim whose lease expired (the worker was
+SIGKILLed, lost power, or vanished) is requeued by whichever worker
+observes the expiry.  For that layering the single-driver recovery rule
+(claimed → pending on replay) is optional: pass ``recover_claims=False``
+and replay preserves claims so live workers' leases survive another
+process opening the journal.
 """
 
 from __future__ import annotations
@@ -54,6 +65,9 @@ class Job:
     not_before: float = 0.0
     result: str | None = None
     reason: str | None = None
+    #: Wall-clock deadline of the current claim's lease (fleet mode);
+    #: None for unleased single-driver claims.
+    lease_until: float | None = None
 
     @property
     def cell(self) -> tuple[str, str]:
@@ -63,11 +77,13 @@ class Job:
 class JobQueue:
     """Journal-backed job queue (pass ``path=None`` for memory-only)."""
 
-    def __init__(self, path: str | os.PathLike | None):
+    def __init__(self, path: str | os.PathLike | None, *,
+                 recover_claims: bool = True):
         self.path = Path(path) if path is not None else None
         self.jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._fp = None
+        self._recover_claims = recover_claims
         if self.path is not None and self.path.exists():
             self._replay()
         if self.path is not None:
@@ -86,6 +102,10 @@ class JobQueue:
             except ValueError:
                 continue  # torn trailing write
             self._apply(record)
+        if not self._recover_claims:
+            # Fleet mode: claims belong to live workers on other hosts;
+            # lease expiry, not replay, decides when to take them back.
+            return
         # Crash recovery: claimed-but-incomplete jobs revert to pending.
         for job in self.jobs.values():
             if job.status == CLAIMED:
@@ -108,17 +128,27 @@ class JobQueue:
             job.status = CLAIMED
             job.worker = record.get("worker")
             job.attempts = record.get("attempt", job.attempts + 1)
+            job.lease_until = record.get("lease_until")
+        elif kind == "renew":
+            # A lease extension is only honored while the renewing
+            # worker still holds the claim; a renew that raced a
+            # lease-expiry requeue is a no-op.
+            if job.status == CLAIMED and job.worker == record.get("worker"):
+                job.lease_until = record.get("lease_until")
         elif kind == "requeue":
             job.status = PENDING
             job.worker = None
             job.not_before = record.get("not_before", 0.0)
             job.reason = record.get("reason")
+            job.lease_until = None
         elif kind == "done":
             job.status = DONE
             job.result = record.get("result")
+            job.lease_until = None
         elif kind == "exhaust":
             job.status = EXHAUSTED
             job.reason = record.get("reason")
+            job.lease_until = None
 
     def _append(self, record: dict) -> None:
         self._apply(record)
@@ -142,18 +172,32 @@ class JobQueue:
         obs.count("service.jobs_submitted", len(jobs))
         return jobs
 
-    def claim(self, worker: str, now: float | None = None) -> Job | None:
-        """Atomically claim the next ready pending job (FIFO), if any."""
+    def claim(self, worker: str, now: float | None = None,
+              lease_until: float | None = None) -> Job | None:
+        """Atomically claim the next ready pending job (FIFO), if any.
+
+        *lease_until* (a wall-clock deadline, fleet mode) is recorded in
+        the claim so other journal readers can detect a dead claimant.
+        """
         now = time.monotonic() if now is None else now
         for job_id in self._order:
             job = self.jobs[job_id]
             if job.status == PENDING and job.not_before <= now:
-                self._append({"t": "claim", "id": job_id, "worker": worker,
-                              "attempt": job.attempts + 1})
+                record = {"t": "claim", "id": job_id, "worker": worker,
+                          "attempt": job.attempts + 1}
+                if lease_until is not None:
+                    record["lease_until"] = lease_until
+                self._append(record)
                 obs.count("service.jobs_claimed")
                 obs.observe("service.queue_depth", float(self.depth()))
                 return job
         return None
+
+    def renew(self, job_id: str, worker: str, lease_until: float) -> None:
+        """Extend *worker*'s lease on a claimed job (fleet heartbeat)."""
+        self._append({"t": "renew", "id": job_id, "worker": worker,
+                      "lease_until": lease_until})
+        obs.count("service.lease_renewals")
 
     def complete(self, job_id: str, result: str = "computed") -> None:
         self._append({"t": "done", "id": job_id, "result": result})

@@ -73,6 +73,102 @@ class TestCampaignVerbs:
                      "--jobs", "0"])
 
 
+class TestSpecSubmit:
+    def test_spec_file_submission_json_and_toml(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        spec = tmp_path / "run.json"
+        spec.write_text(json.dumps({"name": "nightly", "bombs": BOMBS,
+                                    "tools": ["tritonx"]}))
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--spec", str(spec)]) == 0
+        assert "2 bombs x 1 tools = 2 cells" in capsys.readouterr().out
+
+        toml = tmp_path / "run.toml"
+        toml.write_text('bombs = ["cp_stack"]\ntools = ["tritonx"]\n')
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--spec", str(toml)]) == 0
+        assert "1 bombs x 1 tools = 1 cells" in capsys.readouterr().out
+
+    def test_spec_conflicts_with_matrix_flags(self, tmp_path):
+        spec = tmp_path / "run.json"
+        spec.write_text(json.dumps({"bombs": ["cp_stack"],
+                                    "tools": ["tritonx"]}))
+        with pytest.raises(SystemExit, match="drop --bombs"):
+            run_cli(["campaign", "submit", "--root", str(tmp_path / "svc"),
+                     "--spec", str(spec), "--bombs", "sv_time"])
+
+    def test_invalid_spec_is_a_clean_exit_not_a_traceback(self, tmp_path):
+        spec = tmp_path / "run.json"
+        spec.write_text(json.dumps({"bmobs": ["cp_stack"]}))
+        with pytest.raises(SystemExit, match="bmobs"):
+            run_cli(["campaign", "submit", "--root", str(tmp_path / "svc"),
+                     "--spec", str(spec)])
+
+    def test_over_quota_submit_exits_3(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "quotas.json").write_text(json.dumps(
+            {"default": {"max_pending_cells": 1}}))
+        argv = ["campaign", "submit", "--root", str(root),
+                "--bombs", *BOMBS, "--tools", "tritonx"]
+        assert run_cli(argv) == 3
+        assert "quota rejected" in capsys.readouterr().err
+
+
+class TestWatchExitCodes:
+    def submit_and_run(self, root, capsys, retries="1"):
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--bombs", "cp_stack", "--tools", "tritonx",
+                        "--retries", retries, "--run"]) == 0
+        out = capsys.readouterr().out
+        return re.search(r"submitted (c[0-9a-f]{8}-\d+):", out).group(1)
+
+    def test_watch_exits_0_when_all_cells_complete(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        cid = self.submit_and_run(root, capsys)
+        assert run_cli(["campaign", "status", cid, "--root", root,
+                        "--watch", "--interval", "0.01"]) == 0
+
+    def test_watch_exits_1_when_cells_exhausted(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.service import KILL_CELL_ENV
+
+        monkeypatch.setenv(KILL_CELL_ENV, "cp_stack:tritonx")
+        root = str(tmp_path / "svc")
+        cid = self.submit_and_run(root, capsys, retries="0")
+        assert run_cli(["campaign", "status", cid, "--root", root,
+                        "--watch", "--interval", "0.01"]) == 1
+        err = capsys.readouterr().err
+        assert "1 exhausted cell(s)" in err
+
+
+class TestFleetVerbs:
+    def test_worker_drains_a_submitted_campaign(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--bombs", "cp_stack", "--tools", "tritonx"]) == 0
+        capsys.readouterr()
+        assert run_cli(["worker", "--root", root, "--drain",
+                        "--poll", "0.01"]) == 0
+        assert "1 loop(s) exited" in capsys.readouterr().out
+        assert run_cli(["campaign", "status", "--root", root]) == 0
+        assert "done=   1" in capsys.readouterr().out
+
+    def test_worker_store_alias_and_validation(self, tmp_path, capsys):
+        root = str(tmp_path / "svc")
+        assert run_cli(["worker", "--store", root, "--drain",
+                        "--poll", "0.01"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--jobs"):
+            run_cli(["worker", "--root", root, "--jobs", "-1"])
+        with pytest.raises(SystemExit, match="--lease"):
+            run_cli(["worker", "--root", root, "--lease", "0"])
+
+    def test_serve_rejects_bad_poll(self, tmp_path):
+        with pytest.raises(SystemExit, match="--poll"):
+            run_cli(["serve", "--root", str(tmp_path), "--poll", "0"])
+
+
 class TestTable2Flags:
     def test_check_passes_on_agreement(self, tmp_path, capsys):
         rc = run_cli(["table2", "--bombs", *BOMBS, "--tools", "tritonx",
@@ -104,3 +200,10 @@ class TestTable2Flags:
     def test_timeout_validation(self):
         with pytest.raises(SystemExit):
             run_cli(["table2", "--timeout", "0"])
+
+    def test_jobs_zero_auto_detects(self, tmp_path, capsys):
+        assert run_cli(["table2", "--bombs", "cp_stack",
+                        "--tools", "tritonx", "--jobs", "0"]) == 0
+        assert "cp_stack" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="auto-detect"):
+            run_cli(["table2", "--jobs", "-1"])

@@ -1,0 +1,197 @@
+"""Declarative campaign specs: parsing, selectors, validation, quotas.
+
+A spec document is the fleet's submission contract — the same JSON
+shape is accepted as a file (``campaign submit --spec``), as TOML, and
+as an HTTP POST body — so the validator's strictness is what stands
+between a typo and a wasted fleet-hour.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bombs import TABLE2_BOMB_IDS, all_bombs
+from repro.service import (
+    CampaignService,
+    CampaignSpec,
+    QuotaExceeded,
+    SpecError,
+    build_spec,
+    check_quota,
+    load_quotas,
+    load_spec_file,
+    parse_spec_text,
+)
+from repro.service.spec import bomb_level, resolve_bombs, resolve_tools
+
+ALL_IDS = [b.bomb_id for b in all_bombs()]
+
+
+class TestParsing:
+    def test_json_and_toml_parse_to_the_same_document(self):
+        doc = {"name": "n", "bombs": ["cp_stack"], "tools": ["tritonx"],
+               "timeout": 5.0}
+        toml = ('name = "n"\nbombs = ["cp_stack"]\n'
+                'tools = ["tritonx"]\ntimeout = 5.0\n')
+        assert parse_spec_text(json.dumps(doc), "json") == doc
+        assert parse_spec_text(toml, "toml") == doc
+
+    def test_malformed_text_is_a_spec_error_not_a_traceback(self):
+        with pytest.raises(SpecError, match="invalid JSON"):
+            parse_spec_text("{nope", "json")
+        with pytest.raises(SpecError, match="invalid TOML"):
+            parse_spec_text("= broken", "toml")
+        with pytest.raises(SpecError, match="unknown spec format"):
+            parse_spec_text("{}", "yaml")
+        with pytest.raises(SpecError, match="table/object"):
+            parse_spec_text("[1, 2]", "json")
+
+    def test_load_spec_file_dispatches_on_extension(self, tmp_path):
+        jpath = tmp_path / "run.json"
+        jpath.write_text(json.dumps({"bombs": ["cp_stack"],
+                                     "tools": ["tritonx"]}))
+        tpath = tmp_path / "run.toml"
+        tpath.write_text('bombs = ["cp_stack"]\ntools = ["tritonx"]\n')
+        assert load_spec_file(jpath) == load_spec_file(tpath)
+        with pytest.raises(SpecError, match="cannot read"):
+            load_spec_file(tmp_path / "absent.json")
+
+
+class TestSelectors:
+    def test_default_selection_is_the_paper_matrix(self):
+        spec = build_spec({})
+        assert spec.bombs == tuple(TABLE2_BOMB_IDS)
+
+    def test_keywords_globs_and_exact_ids_compose(self):
+        assert resolve_bombs(["table2"], []) == list(TABLE2_BOMB_IDS)
+        assert resolve_bombs(["all"], []) == ALL_IDS
+        globbed = resolve_bombs(["cp_*"], [])
+        assert globbed and all(b.startswith("cp_") for b in globbed)
+        assert resolve_bombs(["cp_stack"], []) == ["cp_stack"]
+
+    def test_selection_is_dataset_ordered_and_deduped(self):
+        # Mention order scrambled, entries overlapping: the resolved
+        # list must still follow dataset order so campaign ids (and
+        # rendered tables) stay byte-stable.
+        spec_ids = resolve_bombs(["cp_stack", "sv_*", "cp_*", "cp_stack"], [])
+        assert spec_ids == [b for b in ALL_IDS if b in set(spec_ids)]
+        assert len(spec_ids) == len(set(spec_ids))
+
+    def test_levels_filter_uses_the_id_embedded_level(self):
+        assert bomb_level("sa_l2_array") == 2
+        assert bomb_level("cp_stack") == 1
+        level2 = resolve_bombs(["all"], [2])
+        assert level2 and all(bomb_level(b) == 2 for b in level2)
+        with pytest.raises(SpecError, match="leaves no bombs"):
+            resolve_bombs(["cp_stack"], [7])
+
+    def test_unmatched_selectors_name_the_field(self):
+        with pytest.raises(SpecError, match="bombs: pattern"):
+            resolve_bombs(["zz_*"], [])
+        with pytest.raises(SpecError, match="bombs: unknown id"):
+            resolve_bombs(["cp_stark"], [])
+        with pytest.raises(SpecError, match="tools"):
+            resolve_tools(["ghidra"])
+
+    def test_tool_keyword_all_is_the_table_columns(self):
+        from repro.bombs import TOOL_COLUMNS
+
+        assert resolve_tools(["all"]) == list(TOOL_COLUMNS)
+        assert resolve_tools(["tritonx"]) == ["tritonx"]
+
+
+class TestValidation:
+    def test_unknown_keys_are_rejected_by_name(self):
+        with pytest.raises(SpecError, match="unknown spec key.*bmobs"):
+            build_spec({"bmobs": ["cp_stack"]})
+
+    @pytest.mark.parametrize("doc,field", [
+        ({"jobs": -1}, "jobs"),
+        ({"jobs": True}, "jobs"),
+        ({"timeout": 0}, "timeout"),
+        ({"timeout": "60"}, "timeout"),
+        ({"retries": -1}, "retries"),
+        ({"levels": [1, "2"]}, "levels"),
+        ({"name": 7}, "name"),
+        ({"bombs": 3}, "bombs"),
+        ({"bombs": [3]}, "bombs"),
+    ])
+    def test_type_errors_name_the_offending_field(self, doc, field):
+        with pytest.raises(SpecError, match=field):
+            build_spec(doc)
+
+    def test_valid_document_resolves_to_a_campaign_spec(self):
+        spec = build_spec({"name": "nightly", "tenant": "ci",
+                           "bombs": ["cp_stack", "sv_time"],
+                           "tools": ["tritonx"], "jobs": 2,
+                           "timeout": 30, "retries": 1})
+        assert isinstance(spec, CampaignSpec)
+        assert spec.tenant == "ci"
+        assert spec.timeout == 30.0
+        assert len(spec.cells()) == 2
+
+    def test_scalar_selector_strings_are_promoted_to_lists(self):
+        spec = build_spec({"bombs": "cp_stack", "tools": "tritonx"})
+        assert spec.bombs == ("cp_stack",) and spec.tools == ("tritonx",)
+
+
+class TestQuotas:
+    def write_quotas(self, root, doc):
+        root.mkdir(parents=True, exist_ok=True)
+        (root / "quotas.json").write_text(json.dumps(doc))
+
+    def test_absent_or_unlimited_quotas_never_reject(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        assert load_quotas(service.root) == {}
+        spec = build_spec({"bombs": ["cp_stack"], "tools": ["tritonx"]})
+        check_quota(service, spec)  # no quotas.json: no limits
+
+    def test_over_quota_submit_is_rejected_and_counted(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        self.write_quotas(service.root,
+                          {"default": {"max_pending_cells": 1}})
+        spec = build_spec({"bombs": ["cp_stack", "sv_time"],
+                           "tools": ["tritonx"]})
+        rec = obs.Recorder()
+        with obs.recording(rec, close=False):
+            with pytest.raises(QuotaExceeded, match="exceeds quota of 1"):
+                service.submit(spec)
+        assert rec.snapshot()["counters"]["service.quota_rejected"] == 1
+        assert service.campaigns() == []  # nothing was enqueued
+
+    def test_outstanding_cells_count_against_the_same_tenant_only(
+            self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        self.write_quotas(service.root, {
+            "tenants": {"ci": {"max_pending_cells": 2}},
+            "default": {"max_pending_cells": 100},
+        })
+        one = build_spec({"tenant": "ci", "bombs": ["cp_stack"],
+                          "tools": ["tritonx"]})
+        service.submit(one)           # ci: 1 outstanding
+        service.submit(one)           # ci: 2 outstanding — at the cap
+        with pytest.raises(QuotaExceeded):
+            service.submit(one)
+        # A different tenant's budget is untouched by ci's backlog.
+        other = build_spec({"tenant": "dev", "bombs": ["cp_stack"],
+                            "tools": ["tritonx"]})
+        service.submit(other)
+
+    def test_completed_cells_release_quota(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        self.write_quotas(service.root,
+                          {"default": {"max_pending_cells": 1}})
+        spec = build_spec({"bombs": ["cp_stack"], "tools": ["tritonx"]})
+        cid = service.submit(spec)
+        with pytest.raises(QuotaExceeded):
+            service.submit(spec)
+        service.run(cid)              # drains the outstanding cell
+        service.submit(spec)          # budget is free again
+
+    def test_malformed_quota_file_is_a_spec_error(self, tmp_path):
+        service = CampaignService(tmp_path / "svc")
+        self.write_quotas(service.root,
+                          {"default": {"max_pending_cells": -3}})
+        with pytest.raises(SpecError, match="max_pending_cells"):
+            load_quotas(service.root)
