@@ -89,15 +89,23 @@ def compare(baseline: dict, candidate: dict,
                 f"wall_s regressed: {old_wall} -> {new_wall} "
                 f"({_pct(old_wall, new_wall)}, tolerance {wall_tol:.0%})")
 
-    base_stages = baseline.get("stage_wall_s", {})
-    cand_stages = candidate.get("stage_wall_s", {})
+    # Gate on exclusive self-time when both records carry it (solve
+    # nests inside explore, so the inclusive walls double-count the
+    # nested stage); fall back to the inclusive figures for records
+    # written before ``stage_self_wall_s`` existed.
+    key = ("stage_self_wall_s"
+           if "stage_self_wall_s" in baseline
+           and "stage_self_wall_s" in candidate
+           else "stage_wall_s")
+    base_stages = baseline.get(key, {})
+    cand_stages = candidate.get(key, {})
     for stage in GATED_STAGES:
         old, new = base_stages.get(stage), cand_stages.get(stage)
         if old is None or new is None:
             continue
         if new > old * (1 + wall_tol):
             problems.append(
-                f"stage_wall_s.{stage} regressed: {old} -> {new} "
+                f"{key}.{stage} regressed: {old} -> {new} "
                 f"({_pct(old, new)}, tolerance {wall_tol:.0%})")
 
     return problems

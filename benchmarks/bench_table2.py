@@ -38,6 +38,21 @@ def _write_bench_json(result, snap, wall_s) -> None:
             if name in ("trace", "lift", "extract", "solve", "replay",
                         "explore")
         },
+        # Exclusive per-stage self-time: wall minus time spent in nested
+        # child spans (solve nests inside explore, so the inclusive
+        # figures above double-count and sum past the total wall).
+        "stage_self_wall_s": {
+            name: round(stat.get("self_s", stat["wall_s"]), 4)
+            for name, stat in sorted(snap["spans"].items())
+            if name in ("trace", "lift", "extract", "solve", "replay",
+                        "explore")
+        },
+        "cache": {
+            key.split(".", 1)[1]: counters[key]
+            for key in ("cache.superblock_hits", "cache.superblock_misses",
+                        "cache.lift_store_hits", "symex.merges")
+            if key in counters
+        },
         "cells": [
             {
                 "bomb": cell.bomb_id,
@@ -46,6 +61,10 @@ def _write_bench_json(result, snap, wall_s) -> None:
                 "wall_s": round(cell.report.elapsed, 4),
                 "timings_s": {k: round(v, 4)
                               for k, v in sorted(cell.timings.items())},
+                "timings_self_s": {
+                    k: round(v, 4)
+                    for k, v in sorted(getattr(cell, "timings_self",
+                                               {}).items())},
             }
             for _, cell in sorted(result.cells.items())
         ],

@@ -309,7 +309,9 @@ def cmd_profile(args) -> int:
         return 0
     _print_cell(cell)
     print()
-    print(obs.render_hotspots(profiler.snapshot(), top=args.top))
+    print(obs.render_hotspots(profiler.snapshot(), top=args.top,
+                              stage_wall=cell.timings,
+                              stage_self=cell.timings_self))
     for path, what in ((args.trace_out, "Chrome trace (Perfetto)"),
                        (args.flame_out, "collapsed stacks (flamegraph)")):
         if path:

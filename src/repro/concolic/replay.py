@@ -27,12 +27,12 @@ from .. import obs
 from ..obs import profile, provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, VMError
-from ..ir import il
-from ..ir.lifter import apply_binop, apply_fp_op, flag_condition, lift
+from ..ir import il, superblock
+from ..ir.lifter import apply_binop, apply_fp_op, flag_condition
 from ..isa import Op, instruction_size
-from ..smt import Expr, mk_binop, mk_bool_not, mk_concat_many, mk_const, mk_extract, mk_sext, mk_var, mk_zext
+from ..smt import Expr, mk_binop, mk_bool_not, mk_concat_many, mk_const, mk_eq, mk_extract, mk_sext, mk_var, mk_zext
 from ..vm import Environment, Machine
-from ..vm.cpu import Context, bits_to_f32, bits_to_f64, u64
+from ..vm.cpu import Context, alu, bits_to_f32, bits_to_f64, u64
 from ..vm.machine import STACK_TOP
 from ..vm.syscalls import SIGRETURN_ADDR, THREAD_EXIT_ADDR, Sys
 from ..errors import SolverError
@@ -96,6 +96,403 @@ class _ShadowThread:
         self.faulted = False
 
 
+# -- compiled replay programs -----------------------------------------------
+#
+# A trace revisits the same pc constantly (loops, library code), so the
+# per-statement interpretation below is compiled once per pc into a list
+# of handler closures with operand accessors specialized at compile
+# time.  Handlers are policy-agnostic — capability switches are read
+# from the replayer at call time — which is what lets the compiled
+# programs live in the image's process-wide :class:`superblock.LiftCache`
+# and be shared by every replay round (and every tool) of one image.
+#
+# Protocol: ``handler(rep, th, tmps, tid, box) -> bool`` where ``box``
+# is ``[next_pc, tainted]``.  Returning True ends the instruction early
+# (the handler did its own pc/liveness bookkeeping), matching the early
+# ``return`` paths of the interpreted version.
+
+def _rp_get(src):
+    """Value reader returning ``(concrete, symbolic | None)``."""
+    if isinstance(src, il.ConstRef):
+        pair = (src.value & MASK64, None)
+        return lambda rep, th, tmps: pair
+    if isinstance(src, il.RegRef):
+        index = src.index
+        return lambda rep, th, tmps: (th.ctx.regs[index],
+                                      th.sym_regs.get(index))
+    if isinstance(src, il.FRegRef):
+        index = src.index
+        return lambda rep, th, tmps: (th.ctx.fregs[index],
+                                      th.sym_fregs.get(index))
+    index = src.index
+    return lambda rep, th, tmps: tmps[index]
+
+
+def _rp_set(dst):
+    """Value writer specialized on the destination kind."""
+    if isinstance(dst, il.RegRef):
+        index = dst.index
+
+        def put_reg(rep, th, tmps, conc, sym):
+            th.ctx.regs[index] = conc & MASK64
+            if sym is None:
+                th.sym_regs.pop(index, None)
+            else:
+                th.sym_regs[index] = sym
+        return put_reg
+    if isinstance(dst, il.FRegRef):
+        index = dst.index
+
+        def put_freg(rep, th, tmps, conc, sym):
+            th.ctx.fregs[index] = conc & MASK64
+            if sym is None:
+                th.sym_fregs.pop(index, None)
+            else:
+                th.sym_fregs[index] = sym
+        return put_freg
+    index = dst.index
+
+    def put_tmp(rep, th, tmps, conc, sym):
+        tmps[index] = (conc & MASK64, sym)
+    return put_tmp
+
+
+def _rp_move(stmt, pc, instr):
+    get, put = _rp_get(stmt.src), _rp_set(stmt.dst)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+        put(rep, th, tmps, conc, sym)
+        return False
+    return h
+
+
+def _rp_binop(stmt, pc, instr):
+    def h(rep, th, tmps, tid, box):
+        taken = rep._do_binop(th, tmps, stmt, pc)
+        if taken == "fault":
+            th.faulted = True
+            return True  # SignalEvent (or process death) follows
+        if taken:
+            box[1] = True
+        return False
+    return h
+
+
+def _rp_unop(stmt, pc, instr):
+    get, put = _rp_get(stmt.a), _rp_set(stmt.dst)
+    set_flags = stmt.set_flags
+    ones = mk_const(MASK64, 64)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+        res = (~conc) & MASK64
+        res_sym = None if sym is None else mk_binop("xor", sym, ones)
+        if set_flags:
+            th.ctx.flags.set_logic(res)
+            th.sym_flags = None if res_sym is None else (
+                "logic", res, res_sym, 0, None)
+        put(rep, th, tmps, res, res_sym)
+        return False
+    return h
+
+
+def _rp_lea(stmt, pc, instr):
+    get, put = _rp_get(stmt.base), _rp_set(stmt.dst)
+    disp = stmt.disp
+    disp_expr = mk_const(stmt.disp, 64)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        sym_addr = None
+        if sym is not None:
+            box[1] = True
+            sym_addr = mk_binop("add", sym, disp_expr)
+        put(rep, th, tmps, u64(conc + disp), sym_addr)
+        return False
+    return h
+
+
+def _rp_load(stmt, pc, instr):
+    get_addr, put = _rp_get(stmt.addr), _rp_set(stmt.dst)
+    width, signed = stmt.width, stmt.signed
+
+    def h(rep, th, tmps, tid, box):
+        addr_conc, addr_sym = get_addr(rep, th, tmps)
+        if addr_sym is not None:
+            box[1] = True
+            if not rep.policy.symbolic_addressing:
+                rep.diags.emit(
+                    DiagnosticKind.MEM_ADDR_CONCRETIZED,
+                    "load address depends on input; concretized to trace value",
+                    pc,
+                )
+        conc, sym = rep._mem_load(th, addr_conc, width, signed, tid)
+        if sym is not None:
+            box[1] = True
+        put(rep, th, tmps, conc, sym)
+        return False
+    return h
+
+
+def _rp_store(stmt, pc, instr):
+    get_addr, get_val = _rp_get(stmt.addr), _rp_get(stmt.value)
+    width = stmt.width
+
+    def h(rep, th, tmps, tid, box):
+        addr_conc, addr_sym = get_addr(rep, th, tmps)
+        if addr_sym is not None:
+            box[1] = True
+            if not rep.policy.symbolic_addressing:
+                rep.diags.emit(
+                    DiagnosticKind.MEM_ADDR_CONCRETIZED,
+                    "store address depends on input; concretized to trace value",
+                    pc,
+                )
+        conc, sym = get_val(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+        rep._mem_store(th, addr_conc, width, conc, sym, tid, pc)
+        return False
+    return h
+
+
+def _rp_setflags(stmt, pc, instr):
+    get_a, get_b = _rp_get(stmt.a), _rp_get(stmt.b)
+    kind = stmt.kind
+
+    def h(rep, th, tmps, tid, box):
+        a_conc, a_sym = get_a(rep, th, tmps)
+        b_conc, b_sym = get_b(rep, th, tmps)
+        if a_sym is not None or b_sym is not None:
+            box[1] = True
+            th.sym_flags = (kind, a_conc, a_sym, b_conc, b_sym)
+        else:
+            th.sym_flags = None
+        if kind == "sub":
+            alu("sub", a_conc, b_conc, th.ctx.flags)
+        else:  # test
+            th.ctx.flags.set_logic(a_conc & b_conc)
+        return False
+    return h
+
+
+def _rp_condbranch(stmt, pc, instr):
+    cc, target, fallthrough = stmt.cc, stmt.target, instr.next_addr
+
+    def h(rep, th, tmps, tid, box):
+        taken = th.ctx.flags.condition(cc)
+        if th.sym_flags is not None:
+            box[1] = True
+            rep._branch_constraint(th, stmt, taken, pc)
+        box[0] = target if taken else fallthrough
+        return False
+    return h
+
+
+def _rp_jump(stmt, pc, instr):
+    get = _rp_get(stmt.target)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+            if not rep.policy.symbolic_jump:
+                rep.diags.emit(
+                    DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
+                    "indirect jump target depends on input",
+                    pc,
+                )
+        box[0] = conc
+        return False
+    return h
+
+
+def _rp_call(stmt, pc, instr):
+    get = _rp_get(stmt.target)
+    return_addr = stmt.return_addr
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+            if not rep.policy.symbolic_jump:
+                rep.diags.emit(
+                    DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
+                    "indirect call target depends on input",
+                    pc,
+                )
+        sp = u64(th.ctx.regs[15] - 8)
+        th.ctx.regs[15] = sp
+        rep.memory.write_u64(sp, return_addr)
+        rep._cache.invalidate_range(sp, 8)
+        rep._clear_sym_range(sp, 8)
+        box[0] = conc
+        return False
+    return h
+
+
+def _rp_ret(stmt, pc, instr):
+    def h(rep, th, tmps, tid, box):
+        sp = th.ctx.regs[15]
+        next_pc = rep.memory.read_u64(sp)
+        th.ctx.regs[15] = u64(sp + 8)
+        if next_pc == SIGRETURN_ADDR:
+            rep._sigreturn(th)
+            return True
+        if next_pc == THREAD_EXIT_ADDR:
+            th.dead = True
+            return True
+        box[0] = next_pc
+        return False
+    return h
+
+
+def _rp_push(stmt, pc, instr):
+    get = _rp_get(stmt.src)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if sym is not None:
+            box[1] = True
+        sp = u64(th.ctx.regs[15] - 8)
+        th.ctx.regs[15] = sp
+        if not rep.policy.lifts_stack_memory and sym is not None:
+            rep.diags.emit(
+                DiagnosticKind.LIFT_INCOMPLETE,
+                "push lifted without memory effect; value dropped",
+                pc,
+            )
+            sym = None
+        rep._mem_store(th, sp, 8, conc, sym, tid, pc)
+        return False
+    return h
+
+
+def _rp_pop(stmt, pc, instr):
+    put = _rp_set(stmt.dst)
+
+    def h(rep, th, tmps, tid, box):
+        sp = th.ctx.regs[15]
+        conc, sym = rep._mem_load(th, sp, 8, False, tid)
+        if sym is not None:
+            box[1] = True
+        if not rep.policy.lifts_stack_memory and sym is not None:
+            rep.diags.emit(
+                DiagnosticKind.LIFT_INCOMPLETE,
+                "pop lifted without memory effect; value dropped",
+                pc,
+            )
+            sym = None
+        th.ctx.regs[15] = u64(sp + 8)
+        put(rep, th, tmps, conc, sym)
+        return False
+    return h
+
+
+def _rp_syscall(stmt, pc, instr):
+    def h(rep, th, tmps, tid, box):
+        th.awaiting_syscall = True
+        return True  # pc advances when the SyscallEvent arrives
+    return h
+
+
+def _rp_halt(stmt, pc, instr):
+    def h(rep, th, tmps, tid, box):
+        th.dead = True
+        return True
+    return h
+
+
+def _rp_fpop(stmt, pc, instr):
+    def h(rep, th, tmps, tid, box):
+        if rep._do_fpop(th, tmps, stmt, pc):
+            box[1] = True
+        return False
+    return h
+
+
+def _rp_fpflags(stmt, pc, instr):
+    get_a, get_b = _rp_get(stmt.a), _rp_get(stmt.b)
+    kind = stmt.kind
+
+    def h(rep, th, tmps, tid, box):
+        a_conc, a_sym = get_a(rep, th, tmps)
+        b_conc, b_sym = get_b(rep, th, tmps)
+        if kind == "fcmp32":
+            th.ctx.flags.set_fcmp(bits_to_f32(a_conc), bits_to_f32(b_conc))
+        else:
+            th.ctx.flags.set_fcmp(bits_to_f64(a_conc), bits_to_f64(b_conc))
+        if a_sym is None and b_sym is None:
+            th.sym_flags = None
+        elif not rep.policy.supports_fp:
+            box[1] = True
+            rep.diags.emit(
+                DiagnosticKind.LIFT_UNSUPPORTED,
+                f"{kind} not covered by the lifter",
+                pc,
+            )
+            th.sym_flags = None
+        else:
+            box[1] = True
+            th.sym_flags = (kind, a_conc, a_sym, b_conc, b_sym)
+        return False
+    return h
+
+
+def _rp_divguard(stmt, pc, instr):
+    get = _rp_get(stmt.divisor)
+    zero = mk_const(0, 64)
+
+    def h(rep, th, tmps, tid, box):
+        conc, sym = get(rep, th, tmps)
+        if rep.policy.div_guard and sym is not None:
+            box[1] = True
+            cond = mk_eq(sym, zero)
+            oriented = cond if conc == 0 else mk_bool_not(cond)
+            rep._push_constraint(oriented, pc, "div-guard")
+        return False
+    return h
+
+
+_REPLAY_COMPILERS = {
+    il.Move: _rp_move,
+    il.BinOp: _rp_binop,
+    il.UnOp: _rp_unop,
+    il.Lea: _rp_lea,
+    il.Load: _rp_load,
+    il.Store: _rp_store,
+    il.SetFlags: _rp_setflags,
+    il.CondBranch: _rp_condbranch,
+    il.Jump: _rp_jump,
+    il.Call: _rp_call,
+    il.Ret: _rp_ret,
+    il.Push: _rp_push,
+    il.Pop: _rp_pop,
+    il.Syscall: _rp_syscall,
+    il.Halt: _rp_halt,
+    il.FpOp: _rp_fpop,
+    il.FpFlags: _rp_fpflags,
+    il.DivGuard: _rp_divguard,
+}
+
+
+def compile_replay_program(instr, stmts) -> list:
+    """The handler-closure program for one lifted instruction."""
+    pc = instr.addr
+    program = []
+    for stmt in stmts:
+        compiler = _REPLAY_COMPILERS.get(type(stmt))
+        if compiler is None:  # pragma: no cover
+            raise ReplayAbort(f"unhandled IL stmt {stmt}")
+        program.append(compiler(stmt, pc, instr))
+    return program
+
+
 class TraceReplayer:
     """Replays one trace under a tool policy."""
 
@@ -105,9 +502,10 @@ class TraceReplayer:
         self.policy = policy
         self.diags = diagnostics if diagnostics is not None else DiagnosticLog()
         self.lib_data_ranges = image.lib_object_ranges()
-        # Lifted-IL cache: a trace revisits the same pc constantly
-        # (loops, library calls), so lift each distinct instruction once.
-        self._lift_cache: dict[int, list] = {}
+        # Process-wide lifted-IL + compiled-program cache, shared with
+        # every other replay round (and the symbolic explorer) of this
+        # image; persists into the campaign store when one is attached.
+        self._cache = superblock.cache_for(image)
         self._pc_counts: dict[int, int] | None = None
 
     # -- public -----------------------------------------------------------
@@ -137,17 +535,20 @@ class TraceReplayer:
 
         if obs.active() is not None:
             # The lifting stage, separable so its cost is visible: warm
-            # the IL cache over the trace's distinct instructions.
+            # the shared IL cache over the trace's distinct instructions.
+            # ``lift.instructions`` counts actual lifter runs — zero
+            # when an earlier round (or the store) already paid.
             with obs.span("lift"):
-                cache = self._lift_cache
-                lifted = 0
+                cache = self._cache
+                before = cache.fresh_lifts
+                seen: set[int] = set()
                 for event in trace.events:
                     if isinstance(event, StepEvent):
                         addr = event.instr.addr
-                        if addr not in cache:
-                            cache[addr] = lift(event.instr)
-                            lifted += 1
-                obs.count("lift.instructions", lifted)
+                        if addr not in seen:
+                            seen.add(addr)
+                            cache.lift_for(event.instr)
+                obs.count("lift.instructions", cache.fresh_lifts - before)
 
         # Per-PC replay tally: gated once per replay, flushed once.
         self._pc_counts: dict[int, int] | None = \
@@ -172,6 +573,7 @@ class TraceReplayer:
             if self._pc_counts:
                 profile.record_pcs("extract", self._pc_counts)
                 self._pc_counts = None
+        superblock.persist(self._cache)
         return result
 
     # -- argv declaration (the Es0-prone stage) --------------------------------
@@ -280,6 +682,9 @@ class TraceReplayer:
     def _mem_store(self, th, addr: int, width: int, conc: int,
                    sym: Expr | None, tid: int, pc: int) -> None:
         self.memory.write_uint(addr, conc, width)
+        # Self-modifying code: a store into cached code evicts the stale
+        # IL (two integer comparisons when it misses the code range).
+        self._cache.invalidate_range(addr, width)
         if sym is not None and not self.policy.lib_data_taint:
             if any(lo <= addr < hi for lo, hi in self.lib_data_ranges):
                 self.diags.emit(
@@ -314,200 +719,28 @@ class TraceReplayer:
                 f"divergence: shadow pc 0x{th.ctx.pc:x} vs trace 0x{instr.addr:x}"
             )
         self.result.total_instructions += 1
-        tmps: dict[int, tuple[int, Expr | None]] = {}
-        tainted = False
-        next_pc = instr.next_addr
         tid = event.tid
         pc = instr.addr
         pcs = self._pc_counts
         if pcs is not None:
             pcs[pc] = pcs.get(pc, 0) + 1
 
-        stmts = self._lift_cache.get(pc)
-        if stmts is None:
-            stmts = lift(instr)
-            self._lift_cache[pc] = stmts
-        for stmt in stmts:
-            if isinstance(stmt, il.Move):
-                conc, sym = self._get(th, tmps, stmt.src)
-                tainted |= sym is not None
-                self._set(th, tmps, stmt.dst, conc, sym)
-            elif isinstance(stmt, il.BinOp):
-                taken = self._do_binop(th, tmps, stmt, pc)
-                if taken == "fault":
-                    th.faulted = True
-                    return  # SignalEvent (or process death) follows
-                tainted |= taken
-            elif isinstance(stmt, il.UnOp):
-                conc, sym = self._get(th, tmps, stmt.a)
-                tainted |= sym is not None
-                res = (~conc) & MASK64
-                res_sym = None if sym is None else mk_binop(
-                    "xor", sym, mk_const(MASK64, 64))
-                if stmt.set_flags:
-                    th.ctx.flags.set_logic(res)
-                    th.sym_flags = None if res_sym is None else (
-                        "logic", res, res_sym, 0, None)
-                self._set(th, tmps, stmt.dst, res, res_sym)
-            elif isinstance(stmt, il.Lea):
-                conc, sym = self._get(th, tmps, stmt.base)
-                addr = u64(conc + stmt.disp)
-                sym_addr = None
-                if sym is not None:
-                    tainted = True
-                    sym_addr = mk_binop("add", sym, mk_const(stmt.disp, 64))
-                self._set(th, tmps, stmt.dst, addr, sym_addr)
-            elif isinstance(stmt, il.Load):
-                addr_conc, addr_sym = self._get(th, tmps, stmt.addr)
-                if addr_sym is not None:
-                    tainted = True
-                    if not self.policy.symbolic_addressing:
-                        self.diags.emit(
-                            DiagnosticKind.MEM_ADDR_CONCRETIZED,
-                            "load address depends on input; concretized to trace value",
-                            pc,
-                        )
-                conc, sym = self._mem_load(th, addr_conc, stmt.width,
-                                           stmt.signed, tid)
-                tainted |= sym is not None
-                self._set(th, tmps, stmt.dst, conc, sym)
-            elif isinstance(stmt, il.Store):
-                addr_conc, addr_sym = self._get(th, tmps, stmt.addr)
-                if addr_sym is not None:
-                    tainted = True
-                    if not self.policy.symbolic_addressing:
-                        self.diags.emit(
-                            DiagnosticKind.MEM_ADDR_CONCRETIZED,
-                            "store address depends on input; concretized to trace value",
-                            pc,
-                        )
-                conc, sym = self._get(th, tmps, stmt.value)
-                tainted |= sym is not None
-                self._mem_store(th, addr_conc, stmt.width, conc, sym, tid, pc)
-            elif isinstance(stmt, il.SetFlags):
-                a_conc, a_sym = self._get(th, tmps, stmt.a)
-                b_conc, b_sym = self._get(th, tmps, stmt.b)
-                tainted |= a_sym is not None or b_sym is not None
-                from ..vm.cpu import alu as _alu
+        cache = self._cache
+        cached = cache.programs.get(pc)
+        if cached is not None and (cached[0] is instr or cached[0] == instr):
+            program = cached[1]
+        else:
+            stmts, _ = cache.lift_for(instr)
+            program = compile_replay_program(instr, stmts)
+            cache.programs[pc] = (instr, program)
 
-                if stmt.kind == "sub":
-                    _alu("sub", a_conc, b_conc, th.ctx.flags)
-                else:  # test
-                    th.ctx.flags.set_logic(a_conc & b_conc)
-                if a_sym is None and b_sym is None:
-                    th.sym_flags = None
-                else:
-                    th.sym_flags = (stmt.kind, a_conc, a_sym, b_conc, b_sym)
-            elif isinstance(stmt, il.CondBranch):
-                taken = th.ctx.flags.condition(stmt.cc)
-                if th.sym_flags is not None:
-                    tainted = True
-                    self._branch_constraint(th, stmt, taken, pc)
-                next_pc = stmt.target if taken else instr.next_addr
-            elif isinstance(stmt, il.Jump):
-                conc, sym = self._get(th, tmps, stmt.target)
-                if sym is not None:
-                    tainted = True
-                    if not self.policy.symbolic_jump:
-                        self.diags.emit(
-                            DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
-                            "indirect jump target depends on input",
-                            pc,
-                        )
-                next_pc = conc
-            elif isinstance(stmt, il.Call):
-                conc, sym = self._get(th, tmps, stmt.target)
-                if sym is not None:
-                    tainted = True
-                    if not self.policy.symbolic_jump:
-                        self.diags.emit(
-                            DiagnosticKind.SYMBOLIC_JUMP_UNMODELED,
-                            "indirect call target depends on input",
-                            pc,
-                        )
-                sp = u64(th.ctx.regs[15] - 8)
-                th.ctx.regs[15] = sp
-                self.memory.write_u64(sp, stmt.return_addr)
-                self._clear_sym_range(sp, 8)
-                next_pc = conc
-            elif isinstance(stmt, il.Ret):
-                sp = th.ctx.regs[15]
-                next_pc = self.memory.read_u64(sp)
-                th.ctx.regs[15] = u64(sp + 8)
-                if next_pc == SIGRETURN_ADDR:
-                    self._sigreturn(th)
-                    return
-                if next_pc == THREAD_EXIT_ADDR:
-                    th.dead = True
-                    return
-            elif isinstance(stmt, il.Push):
-                conc, sym = self._get(th, tmps, stmt.src)
-                tainted |= sym is not None
-                sp = u64(th.ctx.regs[15] - 8)
-                th.ctx.regs[15] = sp
-                if not self.policy.lifts_stack_memory and sym is not None:
-                    self.diags.emit(
-                        DiagnosticKind.LIFT_INCOMPLETE,
-                        "push lifted without memory effect; value dropped",
-                        pc,
-                    )
-                    sym = None
-                self._mem_store(th, sp, 8, conc, sym, tid, pc)
-            elif isinstance(stmt, il.Pop):
-                sp = th.ctx.regs[15]
-                conc, sym = self._mem_load(th, sp, 8, False, tid)
-                tainted |= sym is not None
-                if not self.policy.lifts_stack_memory and sym is not None:
-                    self.diags.emit(
-                        DiagnosticKind.LIFT_INCOMPLETE,
-                        "pop lifted without memory effect; value dropped",
-                        pc,
-                    )
-                    sym = None
-                th.ctx.regs[15] = u64(sp + 8)
-                self._set(th, tmps, stmt.dst, conc, sym)
-            elif isinstance(stmt, il.Syscall):
-                th.awaiting_syscall = True
-                return  # pc advances when the SyscallEvent arrives
-            elif isinstance(stmt, il.Halt):
-                th.dead = True
+        tmps: dict[int, tuple[int, Expr | None]] = {}
+        box = [instr.next_addr, False]   # [next_pc, tainted]
+        for handler in program:
+            if handler(self, th, tmps, tid, box):
                 return
-            elif isinstance(stmt, il.FpOp):
-                tainted |= self._do_fpop(th, tmps, stmt, pc)
-            elif isinstance(stmt, il.FpFlags):
-                a_conc, a_sym = self._get(th, tmps, stmt.a)
-                b_conc, b_sym = self._get(th, tmps, stmt.b)
-                if stmt.kind == "fcmp32":
-                    th.ctx.flags.set_fcmp(bits_to_f32(a_conc), bits_to_f32(b_conc))
-                else:
-                    th.ctx.flags.set_fcmp(bits_to_f64(a_conc), bits_to_f64(b_conc))
-                if a_sym is None and b_sym is None:
-                    th.sym_flags = None
-                elif not self.policy.supports_fp:
-                    tainted = True
-                    self.diags.emit(
-                        DiagnosticKind.LIFT_UNSUPPORTED,
-                        f"{stmt.kind} not covered by the lifter",
-                        pc,
-                    )
-                    th.sym_flags = None
-                else:
-                    tainted = True
-                    th.sym_flags = (stmt.kind, a_conc, a_sym, b_conc, b_sym)
-            elif isinstance(stmt, il.DivGuard):
-                conc, sym = self._get(th, tmps, stmt.divisor)
-                if self.policy.div_guard and sym is not None:
-                    tainted = True
-                    from ..smt import mk_eq
-
-                    cond = mk_eq(sym, mk_const(0, 64))
-                    oriented = cond if conc == 0 else mk_bool_not(cond)
-                    self._push_constraint(oriented, pc, "div-guard")
-            else:  # pragma: no cover
-                raise ReplayAbort(f"unhandled IL stmt {stmt}")
-
-        th.ctx.pc = next_pc
-        if tainted:
+        th.ctx.pc = box[0]
+        if box[1]:
             self.result.tainted_instructions += 1
             if self._prov is not None:
                 self._prov.record_taint(pc, instr.op.name.lower(),
@@ -613,6 +846,7 @@ class TraceReplayer:
         th.sym_regs.pop(0, None)
         for addr, data in event.writes:
             self.memory.write(addr, data)
+            self._cache.invalidate_range(addr, len(data))
             self._clear_sym_range(addr, len(data))
         th.ctx.pc = u64(pc + instruction_size(Op.SYSCALL))
 
@@ -622,6 +856,7 @@ class TraceReplayer:
             ctx.regs[1] = arg
             ctx.regs[15] = u64(stack_top - 8)
             self.memory.write_u64(ctx.regs[15], THREAD_EXIT_ADDR)
+            self._cache.invalidate_range(ctx.regs[15], 8)
             self._clear_sym_range(ctx.regs[15], 8)
             new = _ShadowThread(ctx)
             if 1 in th.sym_regs:
@@ -684,6 +919,7 @@ class TraceReplayer:
         ctx = th.ctx
         ctx.regs[15] = u64(ctx.regs[15] - 8)
         self.memory.write_u64(ctx.regs[15], SIGRETURN_ADDR)
+        self._cache.invalidate_range(ctx.regs[15], 8)
         self._clear_sym_range(ctx.regs[15], 8)
         ctx.regs[1] = event.signo
         th.sym_regs.pop(1, None)

@@ -39,6 +39,10 @@ class CellResult:
     #: Wall seconds per pipeline stage (trace/lift/extract/solve/replay),
     #: summed over the cell; empty when no recorder was installed.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Exclusive wall seconds per stage — each stage's wall minus the
+    #: time spent in nested child spans (``solve`` nests inside
+    #: ``explore``), so the values sum to at most the cell wall.
+    timings_self: dict[str, float] = field(default_factory=dict)
     #: The root-cause diagnostic behind a non-OK label, as text.
     diagnostic: str | None = None
     #: True when the ``E`` label was synthesized by the campaign service
@@ -73,6 +77,8 @@ class CellResult:
             "matches_paper": self.matches_paper,
             "elapsed_s": round(self.report.elapsed, 6),
             "timings_s": {k: round(v, 6) for k, v in sorted(self.timings.items())},
+            "timings_self_s": {k: round(v, 6)
+                               for k, v in sorted(self.timings_self.items())},
             "diagnostic": self.diagnostic,
             "diagnosis": self.diagnosis,
         }
@@ -169,6 +175,7 @@ def run_cell(bomb: Bomb, tool_name: str,
         if root is not None:
             sp.set("diagnostic", str(root))
         timings = dict(sp.stage_totals)
+        timings_self = dict(sp.stage_self_totals)
     return CellResult(
         bomb_id=bomb.bomb_id,
         tool=tool_name,
@@ -176,6 +183,7 @@ def run_cell(bomb: Bomb, tool_name: str,
         expected=bomb.expected.get(tool_name),
         report=report,
         timings=timings,
+        timings_self=timings_self,
         diagnostic=str(root) if root is not None else None,
     )
 
@@ -299,9 +307,13 @@ def run_table2(
     """
     store = None
     if cache is not None:
+        from ..ir import superblock
         from ..service.store import ResultStore
 
         store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
+        # Warm campaigns also skip lifting: caches created from here on
+        # preload from (and persist into) the store's lift/ tree.
+        superblock.attach_store(store)
     if jobs == 0:
         from ..service.fleet import auto_jobs
 

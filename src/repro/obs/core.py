@@ -29,11 +29,19 @@ class Span:
     that occurred inside it, and ``stage_totals`` — wall seconds of
     every descendant span, aggregated by name (the per-cell stage
     timeline the eval harness reads).
+
+    ``wall_s`` is *inclusive* (it contains every nested span), while
+    ``self_s`` is the span's *exclusive* self-time: wall minus the wall
+    of its direct children.  Summing ``self_s`` over all spans equals
+    the real elapsed wall — unlike inclusive figures, where a ``solve``
+    nested inside ``explore`` is counted under both names.
+    ``stage_self_totals`` aggregates descendant self-times by name.
     """
 
-    __slots__ = ("name", "attrs", "path", "wall_s", "cpu_s", "stage_totals",
+    __slots__ = ("name", "attrs", "path", "wall_s", "cpu_s", "self_s",
+                 "stage_totals", "stage_self_totals",
                  "span_id", "parent_id",
-                 "_recorder", "_wall0", "_cpu0", "_counters0")
+                 "_recorder", "_wall0", "_cpu0", "_counters0", "_child_wall")
 
     def __init__(self, recorder: "Recorder", name: str, attrs: dict):
         self.name = name
@@ -41,7 +49,10 @@ class Span:
         self.path = name
         self.wall_s = 0.0
         self.cpu_s = 0.0
+        self.self_s = 0.0
         self.stage_totals: dict[str, float] = {}
+        self.stage_self_totals: dict[str, float] = {}
+        self._child_wall = 0.0
         self.span_id: str | None = None
         self.parent_id: str | None = None
         self._recorder = recorder
@@ -71,15 +82,20 @@ class Span:
         rec = self._recorder
         self.wall_s = rec._wall_clock() - self._wall0
         self.cpu_s = rec._cpu_clock() - self._cpu0
+        self.self_s = max(0.0, self.wall_s - self._child_wall)
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         rec._stack.pop()
+        if rec._stack:
+            rec._stack[-1]._child_wall += self.wall_s
         # Every ancestor accumulates this span's wall time under its
         # name, so an enclosing "cell" span ends with a flat timeline
         # of all the stages that ran inside it.
         for ancestor in rec._stack:
             totals = ancestor.stage_totals
             totals[self.name] = totals.get(self.name, 0.0) + self.wall_s
+            selfs = ancestor.stage_self_totals
+            selfs[self.name] = selfs.get(self.name, 0.0) + self.self_s
         deltas = {
             name: value - self._counters0.get(name, 0)
             for name, value in rec.counters.items()
@@ -95,11 +111,16 @@ class _NullSpan:
     __slots__ = ()
     wall_s = 0.0
     cpu_s = 0.0
+    self_s = 0.0
     path = ""
     name = ""
 
     @property
     def stage_totals(self) -> dict:
+        return {}
+
+    @property
+    def stage_self_totals(self) -> dict:
         return {}
 
     @property
@@ -192,10 +213,12 @@ class Recorder:
 
     def _record_span(self, span: Span, counter_deltas: dict[str, int]) -> None:
         stat = self.span_stats.setdefault(
-            span.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            span.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                        "self_s": 0.0})
         stat["count"] += 1
         stat["wall_s"] += span.wall_s
         stat["cpu_s"] += span.cpu_s
+        stat["self_s"] += span.self_s
         if self.sinks:
             event = {
                 "t": "span",
@@ -203,6 +226,7 @@ class Recorder:
                 "path": span.path,
                 "wall_s": round(span.wall_s, 9),
                 "cpu_s": round(span.cpu_s, 9),
+                "self_s": round(span.self_s, 9),
                 # perf_counter is CLOCK_MONOTONIC on Linux: comparable
                 # across forked workers, so a parent can lay worker
                 # spans on its own timeline when building a trace view.
@@ -277,10 +301,15 @@ class Recorder:
             kind = event.get("t")
             if kind == "span":
                 stat = self.span_stats.setdefault(
-                    event["name"], {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+                    event["name"], {"count": 0, "wall_s": 0.0, "cpu_s": 0.0,
+                                    "self_s": 0.0})
                 stat["count"] += 1
                 stat["wall_s"] += event.get("wall_s", 0.0)
                 stat["cpu_s"] += event.get("cpu_s", 0.0)
+                # Streams from recorders predating exclusive self-time
+                # carry no self_s; treating the span as childless (self
+                # == wall) keeps the merge lossless either way.
+                stat["self_s"] += event.get("self_s", event.get("wall_s", 0.0))
                 self.emit(event)
             elif kind == "counter":
                 self.count(event["name"], event["value"])
@@ -313,11 +342,16 @@ class Recorder:
             span = self._stack[-1]
             span.wall_s = now_wall - span._wall0
             span.cpu_s = now_cpu - span._cpu0
+            span.self_s = max(0.0, span.wall_s - span._child_wall)
             span.attrs["aborted"] = reason
             self._stack.pop()
+            if self._stack:
+                self._stack[-1]._child_wall += span.wall_s
             for ancestor in self._stack:
                 totals = ancestor.stage_totals
                 totals[span.name] = totals.get(span.name, 0.0) + span.wall_s
+                selfs = ancestor.stage_self_totals
+                selfs[span.name] = selfs.get(span.name, 0.0) + span.self_s
             self._record_span(span, {})
 
     # -- lifecycle ---------------------------------------------------------

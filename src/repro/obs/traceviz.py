@@ -129,10 +129,27 @@ def hotspots(snapshot: dict, top: int = 10) -> dict:
             "queries": snapshot.get("queries", [])[:top]}
 
 
-def render_hotspots(snapshot: dict, top: int = 10) -> str:
-    """Text hotspot report: (stage, PC) sinks, then (guard, latency)."""
+def render_hotspots(snapshot: dict, top: int = 10,
+                    stage_wall: dict[str, float] | None = None,
+                    stage_self: dict[str, float] | None = None) -> str:
+    """Text hotspot report: (stage, PC) sinks, then (guard, latency).
+
+    When per-stage timings are supplied, a stage-wall table leads the
+    report.  Inclusive wall double-counts nested stages (``solve`` runs
+    inside ``explore``); the exclusive column subtracts child spans, so
+    it is the one that answers "where did the time actually go".
+    """
     hot = hotspots(snapshot, top)
     lines: list[str] = []
+    if stage_wall:
+        stage_self = stage_self or {}
+        lines.append("Stage wall — inclusive vs exclusive (self) seconds:")
+        lines.append(f"  {'stage':10s}{'incl s':>10s}{'self s':>10s}")
+        for stage, wall in sorted(stage_wall.items(),
+                                  key=lambda kv: -stage_self.get(kv[0], kv[1])):
+            lines.append(f"  {stage:10s}{wall:>10.4f}"
+                         f"{stage_self.get(stage, wall):>10.4f}")
+        lines.append("")
     lines.append(f"Hot PCs — top {len(hot['pcs'])} (stage, pc) by "
                  "attributed wall / steps:")
     if hot["pcs"]:

@@ -95,7 +95,8 @@ def infrastructure_failure_cell(bomb: Bomb, tool: str, detail: str,
 
 def _worker_main(bomb_id: str, tool: str, attempt: int,
                  result_path: str, metrics_path: str | None,
-                 trace_ctx: tuple | None = None) -> None:
+                 trace_ctx: tuple | None = None,
+                 store_root: str | None = None) -> None:
     """Worker process: evaluate one cell, persist the pickled result.
 
     *trace_ctx* is ``(trace_id, parent_span_id, profiling)`` from the
@@ -107,6 +108,10 @@ def _worker_main(bomb_id: str, tool: str, attempt: int,
     """
     obs.uninstall()  # inherited recorder writes to the parent's fds
     profile.uninstall()
+    if store_root is not None:
+        from ..ir import superblock
+
+        superblock.attach_store(ResultStore(store_root))
     kill_spec = os.environ.get(KILL_CELL_ENV)
     if kill_spec == f"{bomb_id}:{tool}" and attempt == 1:
         os.kill(os.getpid(), signal.SIGKILL)
@@ -231,7 +236,9 @@ class CellExecutor:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(job.bomb_id, job.tool, job.attempts,
-                      result_path, metrics_path, trace_ctx),
+                      result_path, metrics_path, trace_ctx,
+                      str(self.store.root) if self.store is not None
+                      else None),
             )
             proc.start()
             now = time.monotonic()

@@ -34,7 +34,7 @@ from ..vm import Environment
 #: Version of the stored cell representation + classification semantics.
 #: Part of every cache key: bumping it cold-starts the store rather than
 #: serving results computed under older semantics.
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def _sha256(text: str) -> str:

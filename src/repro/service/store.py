@@ -77,6 +77,7 @@ def encode_cell(cell: CellResult) -> dict:
         "tool": cell.tool,
         "outcome": cell.outcome.value,
         "timings": dict(cell.timings),
+        "timings_self": dict(cell.timings_self),
         "diagnostic": cell.diagnostic,
         "report": {
             "solved": report.solved,
@@ -122,6 +123,7 @@ def decode_cell(doc: dict, bomb: Bomb) -> CellResult:
         expected=bomb.expected.get(doc["tool"]),
         report=report,
         timings=dict(doc["timings"]),
+        timings_self=dict(doc.get("timings_self", {})),
         diagnostic=doc["diagnostic"],
     )
 
@@ -139,6 +141,7 @@ class ResultStore:
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._diagnoses = self.root / "diagnoses"
+        self._lifts = self.root / "lift"
 
     def _path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
@@ -184,6 +187,37 @@ class ResultStore:
                 pass
             raise
         obs.count("service.cache_stores")
+
+    # -- persisted lift caches ---------------------------------------------
+
+    def _lift_path(self, digest: str) -> Path:
+        return self._lifts / digest[:2] / f"{digest}.json"
+
+    def put_lift(self, digest: str, payload: dict) -> None:
+        """Store an image's serialized lift cache (last writer wins)."""
+        path = self._lift_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.lift_stores")
+
+    def get_lift(self, digest: str) -> dict | None:
+        """The persisted lift payload for an image digest, or None."""
+        try:
+            return json.loads(
+                self._lift_path(digest).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
 
     # -- forensic diagnoses ------------------------------------------------
 

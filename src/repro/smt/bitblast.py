@@ -120,8 +120,34 @@ class BitBlaster:
         one = [self.TRUE_LIT] + [self.FALSE_LIT] * (len(a) - 1)
         return self._add_bits(inv, one)
 
+    def _const_bits_value(self, bits: list[int]) -> int | None:
+        """Recover the constant a literal vector denotes, or None."""
+        value = 0
+        for i, bit in enumerate(bits):
+            if bit == self.TRUE_LIT:
+                value |= 1 << i
+            elif bit != self.FALSE_LIT:
+                return None
+        return value
+
     def _mul_bits(self, a: list[int], b: list[int]) -> list[int]:
         width = len(a)
+        const_a = self._const_bits_value(a)
+        if const_a is not None and self._const_bits_value(b) is None:
+            a, b = b, a  # iterate over the constant's bits below
+        const_b = self._const_bits_value(b)
+        if const_b is not None:
+            # x * c == -(x * (2^w - c)) mod 2^w: multiplying by the
+            # two's complement and negating wins when it has fewer set
+            # bits (e.g. c == -1 becomes a single negation instead of
+            # width partial-product adder rows).
+            comp = ((1 << width) - const_b) & ((1 << width) - 1)
+            if const_b and comp.bit_count() + 1 < const_b.bit_count():
+                comp_bits = [self.TRUE_LIT if (comp >> i) & 1 else self.FALSE_LIT
+                             for i in range(width)]
+                return self._neg_bits(self._mul_bits(a, comp_bits))
+            b = [self.TRUE_LIT if (const_b >> i) & 1 else self.FALSE_LIT
+                 for i in range(width)]
         acc = [self.FALSE_LIT] * width
         for i, bi in enumerate(b):
             if bi == self.FALSE_LIT:

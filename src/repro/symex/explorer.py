@@ -18,8 +18,8 @@ from .. import obs
 from ..obs import profile, provenance
 from ..binfmt import Image
 from ..errors import DiagnosticKind, DiagnosticLog, EngineError, SolverError
-from ..ir import il
-from ..ir.lifter import apply_binop, apply_fp_op, flag_condition, lift
+from ..ir import il, superblock
+from ..ir.lifter import apply_binop, apply_fp_op, flag_condition
 from ..isa import Instruction, decode
 from ..smt import (
     Expr,
@@ -32,12 +32,15 @@ from ..smt import (
     mk_var,
 )
 from ..vm.machine import STACK_TOP
+from .cache import PathSolver, compile_stmts, merge_states
 from .policy import SymexPolicy
 from .simprocedures import SIMPROCEDURES
 from .state import SymState
 from .syscall_model import SyscallModel
 
 MASK64 = (1 << 64) - 1
+
+_MISSING = object()
 
 
 class EngineAbort(Exception):
@@ -74,6 +77,16 @@ class AngrEngine:
         self.syscalls = SyscallModel(self)
         self._decode_cache: dict[int, Instruction] = {}
         self._code_blob: dict[int, bytes] = {}
+        # Shared execution cache: lifted IL and superblocks live for the
+        # process, keyed by the image digest; compiled handler lists are
+        # engine-local (they close over nothing but are truncated at this
+        # engine's hook addresses).
+        self._cache = superblock.cache_for(image)
+        self._compiled: dict[int, list | None] = {}
+        self._solver = PathSolver(policy)
+        self._sb_hits = 0
+        self._sb_misses = 0
+        self._merges = 0
         # Per-PC symbolic step tally; exists only while an attribution
         # profiler is installed so the step loop pays one None check.
         self._prof_pcs: dict[int, int] | None = \
@@ -106,6 +119,7 @@ class AngrEngine:
 
     def explore(self, seed_argv: list[bytes], argv0: bytes = b"prog") -> SymexReport:
         """Directed search for the ``bomb`` symbol from a symbolic argv."""
+        lifts_before = self._cache.fresh_lifts
         with obs.span("explore", tool=self.policy.name):
             report = self._explore(seed_argv, argv0)
         if self._prof_pcs:
@@ -114,6 +128,14 @@ class AngrEngine:
         obs.count("symex.states", report.states_explored)
         obs.count("symex.steps", report.steps)
         obs.count("symex.queries", report.queries)
+        obs.count("cache.superblock_hits", self._sb_hits)
+        obs.count("cache.superblock_misses", self._sb_misses)
+        fresh = self._cache.fresh_lifts - lifts_before
+        if fresh:
+            obs.count("lift.instructions", fresh)
+        if self._merges:
+            obs.count("symex.merges", self._merges)
+        superblock.persist(self._cache)
         return report
 
     def _explore(self, seed_argv: list[bytes], argv0: bytes) -> SymexReport:
@@ -132,6 +154,7 @@ class AngrEngine:
         worklist: deque[SymState] = deque([initial])
         total_steps = 0
         states_seen = 1
+        merging = self.policy.merge_states
         try:
             while worklist:
                 if _time.monotonic() > deadline:
@@ -169,7 +192,12 @@ class AngrEngine:
                         report.queries = self.queries
                         return report
                 if state.alive:
-                    worklist.insert(0, state) if forks else worklist.append(state)
+                    if merging and self._try_merge(worklist, state):
+                        pass  # absorbed into a waiting sibling
+                    elif forks:
+                        worklist.insert(0, state)
+                    else:
+                        worklist.append(state)
                 elif not state.goal:
                     obs.count("symex.states_pruned")
         except EngineAbort as err:
@@ -185,6 +213,19 @@ class AngrEngine:
         report.steps = total_steps
         report.queries = self.queries
         return report
+
+    def _try_merge(self, worklist, state: SymState) -> bool:
+        """ite-merge *state* into a waiting sibling at the same rejoin
+        point (same pc, same call stack); True when absorbed."""
+        for i, other in enumerate(worklist):
+            if other.pc != state.pc or other.callstack != state.callstack:
+                continue
+            merged = merge_states(other, state)
+            if merged is not None:
+                worklist[i] = merged
+                self._merges += 1
+                return True
+        return False
 
     # -- setup -------------------------------------------------------------
 
@@ -314,39 +355,16 @@ class AngrEngine:
     def _resolve_read_values(self, state: SymState, addr: Expr) -> list[int] | None:
         """Enumerate feasible values of a symbolic address (<= limit).
 
-        One incremental SAT instance: the path condition and the address
-        are blasted once; each found value is excluded with a blocking
-        clause over the address bits and the instance is re-solved.
+        The engine's shared :class:`PathSolver` instance does the work:
+        the path condition and the address are encoded at most once for
+        the whole exploration; each found value is excluded with a
+        blocking clause guarded by a per-enumeration activation literal.
         """
-        from ..smt import BitBlaster, SatSolver
-        from ..smt.solver import report_sat_stats
-
         limit = self.policy.mem_resolve_limit
         self.queries += 1
         obs.count("symex.enum_queries")
-        sat = SatSolver(self.policy.solver_conflicts, self.policy.solver_clauses)
-        blaster = BitBlaster(sat)
-        try:
-            for constraint in state.constraints:
-                blaster.assert_true(constraint)
-            addr_bits = blaster.blast(addr)
-            values: list[int] = []
-            while len(values) <= limit:
-                model = sat.solve()
-                if model is None:
-                    return values
-                value = 0
-                for i, lit in enumerate(addr_bits):
-                    bit = model[lit >> 1] ^ (lit & 1)
-                    value |= (bit & 1) << i
-                values.append(value)
-                # Block this value: at least one address bit must differ.
-                sat.add_clause([
-                    lit ^ ((value >> i) & 1) for i, lit in enumerate(addr_bits)
-                ])
-            return None  # too many values
-        finally:
-            report_sat_stats(sat, blaster)
+        return self._solver.enumerate_values(state.constraints, addr, limit,
+                                             model=state.model)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -372,14 +390,81 @@ class AngrEngine:
                 out[lo - addr : hi - addr] = sec.data[lo - sec.vaddr : hi - sec.vaddr]
         return bytes(out)
 
+    def _block_fetch(self, pc: int) -> Instruction | None:
+        """Non-raising fetch used while *building* superblocks: a pc
+        outside mapped code just ends the block (the generic path raises
+        if execution actually reaches it)."""
+        if not self.image.is_code_addr(pc):
+            return None
+        try:
+            return self._fetch(pc)
+        except EngineAbort:
+            return None
+
+    def _block_at(self, pc: int) -> list | None:
+        """Compiled handler entries for the superblock at *pc*, or None.
+
+        Entries are ``(pc, next_pc, handlers)`` triples; the list is
+        truncated before the first hooked address (no-lib mode) so the
+        per-instruction path runs the simprocedure.
+        """
+        compiled = self._compiled.get(pc, _MISSING)
+        if compiled is not _MISSING:
+            return compiled
+        if pc not in self._cache.blocks:
+            self._sb_misses += 1  # shared-cache build, not a local recompile
+        block = self._cache.block_at(pc, self._block_fetch)
+        entries: list | None = None
+        if block is not None:
+            hooks = self.hooks
+            acc = []
+            for epc, enext, stmts in block.entries:
+                if hooks and epc in hooks:
+                    break
+                handlers = compile_stmts(stmts)
+                if handlers is None:
+                    break
+                acc.append((epc, enext, handlers))
+            entries = acc or None
+        self._compiled[pc] = entries
+        return entries
+
+    def _exec_block(self, state: SymState, entries: list, budget: int) -> int:
+        """Dispatch up to *budget* cached instructions; returns how many
+        actually ran (a dying state stops the block mid-way)."""
+        executed = 0
+        pcs = self._prof_pcs
+        for pc, next_pc, handlers in entries:
+            if executed >= budget:
+                break
+            if pcs is not None:
+                pcs[pc] = pcs.get(pc, 0) + 1
+            tmps: dict[int, Expr] = {}
+            for handler in handlers:
+                handler(self, state, tmps)
+                if not state.alive:
+                    state.steps += 1
+                    return executed + 1
+            state.steps += 1
+            executed += 1
+            state.pc = next_pc
+        return executed
+
     def _run_quantum(self, state: SymState) -> list[SymState]:
         forks: list[SymState] = []
-        for _ in range(self.policy.step_quantum):
+        remaining = self.policy.step_quantum
+        while remaining > 0:
             if not state.alive or state.goal:
                 break
             hook = self.hooks.get(state.pc)
             if hook is not None:
                 self._run_hook(state, hook)
+                remaining -= 1
+                continue
+            entries = self._block_at(state.pc)
+            if entries is not None:
+                self._sb_hits += 1
+                remaining -= self._exec_block(state, entries, remaining)
                 continue
             pcs = self._prof_pcs
             if pcs is not None:
@@ -387,6 +472,7 @@ class AngrEngine:
             instr = self._fetch(state.pc)
             new_forks = self._execute(state, instr)
             state.steps += 1
+            remaining -= 1
             if new_forks:
                 forks.extend(new_forks)
                 break  # let the scheduler rotate after a fork
@@ -412,6 +498,8 @@ class AngrEngine:
         if not ret_addr.is_const:
             raise EngineAbort(DiagnosticKind.ENGINE_CRASH, "symbolic return address")
         state.set_reg(15, mk_const((sp + 8) & MASK64, 64))
+        if state.callstack:
+            state.callstack = state.callstack[:-1]
         state.pc = ret_addr.value
         state.steps += 1
 
@@ -422,7 +510,8 @@ class AngrEngine:
         next_pc = instr.next_addr
         forks: list[SymState] = []
 
-        for stmt in lift(instr):
+        stmts, _fresh = self._cache.lift_for(instr)
+        for stmt in stmts:
             if isinstance(stmt, il.Move):
                 self._set(state, tmps, stmt.dst, self._get(state, tmps, stmt.src))
             elif isinstance(stmt, il.BinOp):
@@ -467,11 +556,14 @@ class AngrEngine:
                 sp = self._conc_sp(state)
                 state.set_reg(15, mk_const((sp - 8) & MASK64, 64))
                 state.write_concrete_mem(sp - 8, mk_const(stmt.return_addr, 64), 8)
+                state.callstack = state.callstack + (stmt.return_addr,)
                 next_pc = resolved
             elif isinstance(stmt, il.Ret):
                 sp = self._conc_sp(state)
                 target = state.read_concrete_mem(sp, 8)
                 state.set_reg(15, mk_const((sp + 8) & MASK64, 64))
+                if state.callstack:
+                    state.callstack = state.callstack[:-1]
                 next_pc = self._jump_target(state, target)
             elif isinstance(stmt, il.Push):
                 value = self._get(state, tmps, stmt.src)

@@ -61,6 +61,10 @@ class SymexPolicy:
     model_signals: bool = False
     #: Never claim a solution whose constraints contain invented values.
     honest_claims: bool = False
+    #: ite-merge states that rejoin at a post-dominator with identical
+    #: call stacks (veritesting-style), collapsing the array bombs'
+    #: path blow-up.  Part of the fingerprint like every capability.
+    merge_states: bool = False
     #: Which simprocedure catalogue to hook with ("default" | "rexx").
     simproc_table: str = "default"
 

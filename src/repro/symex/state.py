@@ -96,6 +96,10 @@ class SymState:
         self.fp_constraints: list[Expr] = []  # FP conditions (fp_search mode)
         self.mailbox: list[Expr] = []         # kernel mailbox model (REXX)
         self.sig_handler: int | None = None   # registered SIGFPE handler
+        #: Return addresses of the active call chain (maintained by the
+        #: explorer's Call/Ret handling); states only merge at a
+        #: post-dominator when their call stacks are identical.
+        self.callstack: tuple[int, ...] = ()
         self._image_bytes: dict[int, bytes] = {}
 
     # -- forking -----------------------------------------------------------
@@ -133,6 +137,7 @@ class SymState:
         other.fp_constraints = list(self.fp_constraints)
         other.mailbox = list(self.mailbox)
         other.sig_handler = self.sig_handler
+        other.callstack = self.callstack
         other._image_bytes = self._image_bytes
         return other
 

@@ -116,6 +116,12 @@ class Machine:
         self._next_pid = self.env.pid
         self._next_tid = 1
         self._decode_cache: dict[int, Instruction] = {}
+        # Fast rejection bounds for decode-cache invalidation on stores
+        # (self-modifying code): only writes into an executable section
+        # can make a cached decode stale.
+        ranges = image.code_ranges()
+        self._code_lo = min((lo for lo, _ in ranges), default=0)
+        self._code_hi = max((hi for _, hi in ranges), default=0)
         # Per-opcode/per-syscall tallies exist only while a recorder is
         # installed; the hot step loop then pays one None-check per
         # instruction when observability is off.
@@ -271,6 +277,13 @@ class Machine:
 
     # -- instruction execution ------------------------------------------------
 
+    def _evict_decoded(self, addr: int, width: int) -> None:
+        """Self-modifying code: drop cached decodes overlapping the
+        written range (an instruction starts at most 15 bytes before)."""
+        cache = self._decode_cache
+        for pc in range(addr - 15, addr + width):
+            cache.pop(pc, None)
+
     def _fetch(self, proc: Process, pc: int) -> Instruction:
         instr = self._decode_cache.get(pc)
         if instr is None or instr.addr != pc:
@@ -324,6 +337,8 @@ class Machine:
             width = STORE_INFO[op]
             addr = u64(regs[ops[0].base] + ops[0].disp)
             mem.write_uint(addr, regs[ops[1].index], width)
+            if addr < self._code_hi and addr + width > self._code_lo:
+                self._evict_decoded(addr, width)
         elif op is Op.LEA:
             regs[ops[0].index] = u64(regs[ops[1].base] + ops[1].disp)
         elif Op.ADD <= op <= Op.SARI:

@@ -48,7 +48,7 @@ class TestSpans:
             wall.advance(2.0)
             cpu.advance(0.5)
         stat = rec.span_stats["outer"]
-        assert stat == {"count": 1, "wall_s": 2.0, "cpu_s": 0.5}
+        assert stat == {"count": 1, "wall_s": 2.0, "cpu_s": 0.5, "self_s": 2.0}
 
     def test_nesting_paths_and_stage_totals(self):
         sink = MemorySink()
@@ -71,6 +71,12 @@ class TestSpans:
         assert cell.stage_totals["trace"] == 1.0
         assert cell.stage_totals["solve"] == 0.75
         assert cell.wall_s == 1.5
+        # Exclusive self-time strips nested children: the outer solve's
+        # 0.5 s inclusive wall minus the inner solve's 0.25 s, and the
+        # cell itself did no work of its own.
+        assert cell.stage_self_totals["trace"] == 1.0
+        assert cell.stage_self_totals["solve"] == 0.5
+        assert cell.self_s == 0.0
 
     def test_span_records_counter_deltas(self):
         sink = MemorySink()
