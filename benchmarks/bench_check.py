@@ -23,6 +23,13 @@ reusing more prefixes never fails):
   either — a change can hold total wall steady while quietly shifting
   cost into one stage, and the per-stage gates catch that.
 
+The same CLI also gates ``BENCH_fuzz.json`` records (the random vs
+coverage-guided comparison): when both records carry a ``fuzz``
+section, the coverage-guided solved set may not lose bombs, and the
+executions-to-trigger counter may not grow past the tolerance for any
+bomb both revisions solve — the fuzzer is deterministic, so growth
+there is a real scheduling/mutation regression, not noise.
+
 Exit status 0 when every gate holds, 1 otherwise (one line per
 violation on stderr).
 """
@@ -107,6 +114,24 @@ def compare(baseline: dict, candidate: dict,
             problems.append(
                 f"{key}.{stage} regressed: {old} -> {new} "
                 f"({_pct(old, new)}, tolerance {wall_tol:.0%})")
+
+    base_fuzz = baseline.get("fuzz")
+    cand_fuzz = candidate.get("fuzz")
+    if base_fuzz is not None and cand_fuzz is not None:
+        lost = sorted(set(base_fuzz.get("coverage_solved", []))
+                      - set(cand_fuzz.get("coverage_solved", [])))
+        if lost:
+            problems.append(
+                f"fuzz.coverage_solved lost bomb(s): {', '.join(lost)}")
+        base_execs = base_fuzz.get("executions_to_trigger", {})
+        cand_execs = cand_fuzz.get("executions_to_trigger", {})
+        for bomb in sorted(set(base_execs) & set(cand_execs)):
+            old, new = base_execs[bomb], cand_execs[bomb]
+            if new > old * (1 + tolerance):
+                problems.append(
+                    f"fuzz.executions_to_trigger[{bomb}] regressed: "
+                    f"{old} -> {new} ({_pct(old, new)}, "
+                    f"tolerance {tolerance:.0%})")
 
     return problems
 

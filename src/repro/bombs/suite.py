@@ -64,7 +64,8 @@ CHALLENGE_ERROR_STAGES = {
 }
 
 #: Table II column order.
-TOOL_COLUMNS = ("bapx", "tritonx", "angrx", "angrx_nolib")
+TOOL_COLUMNS = ("bapx", "tritonx", "angrx", "angrx_nolib",
+                "sandshrewx", "hybridx")
 
 
 @dataclass
@@ -128,28 +129,34 @@ def _bomb_defs() -> list[Bomb]:
             "Employ time info in conditions for triggering a bomb",
             ["sv_time.bc"],
             oracle_env=env(time_value=7777 * 218600 + 4321),
-            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "Es0", "angrx_nolib": "Es0"},
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "Es0",
+                      "angrx_nolib": "Es0", "sandshrewx": "Es0",
+                      "hybridx": "Es0"},
         ),
         Bomb(
             "sv_web",
             "Employ web contents in conditions for triggering a bomb",
             ["sv_web.bc"],
             oracle_env=env(network={"http://bomb.example/trigger": b"ok"}),
-            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "E", "angrx_nolib": "E"},
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "E",
+                      "angrx_nolib": "E", "sandshrewx": "E", "hybridx": "Es0"},
         ),
         Bomb(
             "sv_syscall",
             "Employ the return values of system calls in conditions",
             ["sv_syscall.bc"],
             oracle_env=env(pid=1024),
-            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "P", "angrx_nolib": "P"},
+            expected={"bapx": "Es0", "tritonx": "Es0", "angrx": "P",
+                      "angrx_nolib": "P", "sandshrewx": "P", "hybridx": "Es0"},
         ),
         Bomb(
             "sv_arglen",
             "Employ the length of argv[1] in conditions",
             ["sv_arglen.bc"],
             oracle_argv=[b"123456789"],
-            expected={"bapx": "Es2", "tritonx": "Es0", "angrx": "ok", "angrx_nolib": "ok"},
+            expected={"bapx": "Es2", "tritonx": "Es0", "angrx": "ok",
+                      "angrx_nolib": "ok", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cp_stack",
@@ -157,7 +164,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cp_stack.bc"],
             oracle_argv=[b"49"],
             seed_argv=[b"11"],
-            expected={"bapx": "Es1", "tritonx": "ok", "angrx": "ok", "angrx_nolib": "ok"},
+            expected={"bapx": "Es1", "tritonx": "ok", "angrx": "ok",
+                      "angrx_nolib": "ok", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cp_file",
@@ -165,7 +174,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cp_file.bc"],
             oracle_argv=[b"147"],
             seed_argv=[b"111"],
-            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "E", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "E",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "Es2"},
         ),
         Bomb(
             "cp_syscall",
@@ -173,7 +184,8 @@ def _bomb_defs() -> list[Bomb]:
             ["cp_syscall.bc"],
             oracle_argv=[b"23"],
             seed_argv=[b"11"],
-            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "P", "angrx_nolib": "P"},
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "P",
+                      "angrx_nolib": "P", "sandshrewx": "P", "hybridx": "ok"},
         ),
         Bomb(
             "cp_exception",
@@ -181,7 +193,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cp_exception.bc"],
             oracle_argv=[b"77"],
             seed_argv=[b"55"],
-            expected={"bapx": "ok", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es2"},
+            expected={"bapx": "ok", "tritonx": "Es1", "angrx": "E",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cp_file_exception",
@@ -189,14 +203,18 @@ def _bomb_defs() -> list[Bomb]:
             ["cp_file_exception.bc"],
             oracle_argv=[b"51"],
             seed_argv=[b"11"],
-            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "pp_pthread",
             "Change symbolic values in multi-threads via pthread",
             ["pp_pthread.bc"],
             oracle_argv=[b"4"],
-            expected={"bapx": "ok", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "ok", "tritonx": "Es2", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "pp_fork_pipe",
@@ -204,21 +222,27 @@ def _bomb_defs() -> list[Bomb]:
             ["pp_fork_pipe.bc"],
             oracle_argv=[b"44"],
             seed_argv=[b"11"],
-            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "ok"},
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2",
+                      "angrx_nolib": "ok", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "sa_l1_array",
             "Employ symbolic values as offsets for a level-one array",
             ["sa_l1_array.bc"],
             oracle_argv=[b"6"],
-            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "ok", "angrx_nolib": "ok"},
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "ok",
+                      "angrx_nolib": "ok", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "sa_l2_array",
             "Employ symbolic values as offsets for a level-two array",
             ["sa_l2_array.bc"],
             oracle_argv=[b"4"],
-            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3", "angrx_nolib": "Es3"},
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3",
+                      "angrx_nolib": "Es3", "sandshrewx": "Es3",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cs_file_name",
@@ -227,7 +251,9 @@ def _bomb_defs() -> list[Bomb]:
             oracle_argv=[b"unlock.key"],
             fixed_env=env(files={"unlock.key": b"K"}),
             seed_argv=[b"nofile"],
-            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "Es3"},
         ),
         Bomb(
             "cs_syscall_name",
@@ -235,7 +261,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cs_syscall_name.bc"],
             oracle_argv=[b"19"],
             seed_argv=[b"6"],
-            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "Es3", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "sj_jump",
@@ -243,7 +271,9 @@ def _bomb_defs() -> list[Bomb]:
             ["sj_jump.bc"],
             asm=["sj_jump.s"],
             oracle_argv=[b"7"],
-            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "Es2",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "sj_jump_array",
@@ -251,7 +281,9 @@ def _bomb_defs() -> list[Bomb]:
             ["sj_jump_array.bc"],
             asm=["sj_jump_array.s"],
             oracle_argv=[b"7"],
-            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3", "angrx_nolib": "Es3"},
+            expected={"bapx": "Es3", "tritonx": "Es3", "angrx": "Es3",
+                      "angrx_nolib": "Es3", "sandshrewx": "Es3",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "fp_float",
@@ -259,21 +291,27 @@ def _bomb_defs() -> list[Bomb]:
             ["fp_float.bc"],
             oracle_argv=[b"0.00001"],
             seed_argv=[b"1.5"],
-            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es3"},
+            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E",
+                      "angrx_nolib": "Es3", "sandshrewx": "Es3",
+                      "hybridx": "Es1"},
         ),
         Bomb(
             "ef_sin",
             "Employ symbolic values as the parameter of sin",
             ["ef_sin.bc"],
             oracle_argv=[b"15"],
-            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es1", "tritonx": "Es1", "angrx": "E",
+                      "angrx_nolib": "Es2", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "ef_srand",
             "Employ symbolic values as the parameter of srand",
             ["ef_srand.bc"],
             oracle_argv=[b"7"],
-            expected={"bapx": "Es2", "tritonx": "E", "angrx": "E", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "E", "angrx": "E",
+                      "angrx_nolib": "Es2", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cf_sha1",
@@ -281,7 +319,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cf_sha1.bc"],
             oracle_argv=[b"s3cret"],
             seed_argv=[b"guess"],
-            expected={"bapx": "E", "tritonx": "E", "angrx": "E", "angrx_nolib": "Es2"},
+            expected={"bapx": "E", "tritonx": "E", "angrx": "E",
+                      "angrx_nolib": "Es2", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         Bomb(
             "cf_aes",
@@ -289,7 +329,9 @@ def _bomb_defs() -> list[Bomb]:
             ["cf_aes.bc"],
             oracle_argv=[b"k3y!"],
             seed_argv=[b"guess"],
-            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2", "angrx_nolib": "Es2"},
+            expected={"bapx": "Es2", "tritonx": "Es2", "angrx": "Es2",
+                      "angrx_nolib": "Es2", "sandshrewx": "ok",
+                      "hybridx": "ok"},
         ),
         # -- auxiliary programs (not rows of Table II) --------------------
         Bomb(

@@ -154,7 +154,7 @@ def cmd_taint(args) -> int:
 def cmd_solve(args) -> int:
     from .concolic import ConcolicEngine
     from .symex import AngrEngine
-    from .tools.profiles import SYMEX_PROFILES, TRACE_PROFILES
+    from .tools.profiles import HYBRID_PROFILES, SYMEX_PROFILES, TRACE_PROFILES
     from .vm import Machine
 
     from . import obs
@@ -162,12 +162,25 @@ def cmd_solve(args) -> int:
     image = _load_image(args.binary)
     seed = [s.encode() for s in (args.seed or ["1"])]
     argv0 = Path(args.binary).name.encode()
+
+    def _triggers(claim):
+        replay = Machine(image, [argv0] + claim, _parse_env(args.env))
+        return replay.run().bomb_triggered
+
     with _metrics(args):
         if args.tool in TRACE_PROFILES:
             report = ConcolicEngine(TRACE_PROFILES[args.tool]).run(
                 image, seed, _parse_env(args.env), argv0=argv0)
             solved, solution = report.solved, report.solution
             diags = report.diagnostics
+        elif args.tool in HYBRID_PROFILES:
+            from .fuzz.hybrid import run_hybrid
+
+            raw = run_hybrid(image, HYBRID_PROFILES[args.tool], seed,
+                             _parse_env(args.env), argv0=argv0)
+            solved = raw.solved and _triggers(raw.solution)
+            solution = raw.solution if solved else None
+            diags = raw.diagnostics
         elif args.tool in SYMEX_PROFILES or args.tool == "rexx":
             if args.tool == "rexx":
                 from .tools.rexx import REXX as policy
@@ -178,10 +191,22 @@ def cmd_solve(args) -> int:
             solution = None
             with obs.span("replay", tool=args.tool):
                 for claim in raw.claimed_inputs:
-                    replay = Machine(image, [argv0] + claim, _parse_env(args.env))
-                    if replay.run().bomb_triggered:
+                    if _triggers(claim):
                         solution = claim
                         break
+            budget = getattr(policy, "concrete_fallback_budget", 0)
+            if (solution is None and budget > 0
+                    and getattr(engine, "opaque_concretized", False)):
+                from .fuzz.mutator import cracking_candidates
+
+                with obs.span("concrete_fallback", tool=args.tool):
+                    for i, candidate in enumerate(cracking_candidates()):
+                        if i >= budget:
+                            break
+                        obs.count("symex.fallback_execs")
+                        if _triggers([candidate] + seed[1:]):
+                            solution = [candidate] + seed[1:]
+                            break
             solved = solution is not None
             diags = raw.diagnostics
         else:
@@ -575,7 +600,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("solve", help="hunt the bomb with a tool")
     p.add_argument("binary")
     p.add_argument("--tool", default="tritonx",
-                   help="bapx | tritonx | angrx | angrx_nolib | rexx")
+                   help="bapx | tritonx | angrx | angrx_nolib | sandshrewx "
+                        "| hybridx | rexx")
     p.add_argument("--seed", action="append", metavar="ARG")
     p.add_argument("--env", action="append", metavar="KEY=VALUE")
     p.add_argument("--metrics-out", metavar="FILE.jsonl",
@@ -623,7 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribution profile of one (bomb, tool) cell: hot PCs, "
              "hot guards, optional Perfetto trace / flamegraph")
     p.add_argument("bomb", help="bomb id (see `repro bombs`)")
-    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | rexx")
+    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | "
+                                "sandshrewx | hybridx | rexx")
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="rows per hotspot table (default 10)")
     p.add_argument("--trace-out", metavar="FILE.json",
@@ -641,7 +668,8 @@ def build_parser() -> argparse.ArgumentParser:
         "explain",
         help="forensic diagnosis of one Table II cell (why that label?)")
     p.add_argument("bomb", help="bomb id (see `repro bombs`)")
-    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | rexx")
+    p.add_argument("tool", help="bapx | tritonx | angrx | angrx_nolib | "
+                                "sandshrewx | hybridx | rexx")
     p.add_argument("--json", action="store_true",
                    help="emit the diagnosis as JSON")
     p.add_argument("--store", metavar="DIR",

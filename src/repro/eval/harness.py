@@ -307,6 +307,7 @@ def run_table2(
     """
     store = None
     if cache is not None:
+        from ..fuzz import corpus as fuzz_corpus
         from ..ir import superblock
         from ..service.store import ResultStore
 
@@ -314,6 +315,9 @@ def run_table2(
         # Warm campaigns also skip lifting: caches created from here on
         # preload from (and persist into) the store's lift/ tree.
         superblock.attach_store(store)
+        # Fuzz campaigns persist under corpus/ the same way: an identical
+        # campaign restores its verdict + corpus with zero executions.
+        fuzz_corpus.attach_store(store)
     if jobs == 0:
         from ..service.fleet import auto_jobs
 

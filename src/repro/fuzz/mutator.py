@@ -1,0 +1,153 @@
+"""Deterministic mutation strategies for the coverage-guided fuzzer.
+
+Two layers, both fully deterministic for a given PRNG seed:
+
+* :func:`cracking_candidates` — the *deterministic stage* a practitioner
+  would run first: a short numeric sweep (most bombs atoi their input)
+  followed by a cracking dictionary of common passwords expanded through
+  leetspeak substitutions and suffixes.  This is how real hybrid tools
+  crack the paper's crypto bombs: the SHA-1/AES preimages are not found
+  by inverting the cipher but by trying dictionary words against the
+  concretely executed library code.
+* :class:`Mutator` — AFL-style havoc: bit flips, arithmetic nudges,
+  interesting-value substitution, dictionary splices and corpus splices,
+  driven by the shared xorshift PRNG from the random baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .random_fuzzer import _XorShift
+
+MAX_INPUT_LEN = 32
+
+_INTERESTING_BYTES = (0x00, 0x01, 0x20, 0x30, 0x39, 0x41, 0x7F, 0xFF)
+_INTERESTING_WORDS = (b"0", b"1", b"-1", b"42", b"44556", b"100000", b"120")
+
+# Leetspeak substitution table: each occurrence may flip independently,
+# so "secret" expands to s3cret, secr3t, s3cr3t, $ecret, ...
+_LEET = {"a": "4", "e": "3", "i": "1", "o": "0", "s": "$"}
+
+_WORDLIST = (
+    "key", "secret", "password", "passwd", "letmein", "admin",
+    "guess", "dawn", "attack", "magic", "bomb", "open", "sesame",
+)
+
+_SUFFIXES = ("", "!", "1", "123", "?")
+
+_NUMERIC_SWEEP_MAX = 120
+
+
+def _leet_variants(word: str) -> Iterator[str]:
+    positions = [i for i, ch in enumerate(word) if ch in _LEET]
+    for mask in range(1 << len(positions)):
+        chars = list(word)
+        for bit, pos in enumerate(positions):
+            if mask >> bit & 1:
+                chars[pos] = _LEET[word[pos]]
+        yield "".join(chars)
+
+
+def _numeric_candidates() -> Iterator[bytes]:
+    for n in range(_NUMERIC_SWEEP_MAX + 1):
+        yield str(n).encode()
+    for n in range(1, _NUMERIC_SWEEP_MAX + 1):
+        yield str(-n).encode()
+
+
+def _word_candidates() -> Iterator[bytes]:
+    for word in _WORDLIST:
+        for variant in _leet_variants(word):
+            for suffix in _SUFFIXES:
+                yield (variant + suffix).encode()
+
+
+def cracking_candidates() -> Iterator[bytes]:
+    """The deterministic candidate stream, likeliest guesses first.
+
+    Interleaves the two families — dictionary words (most frequent
+    first, expanded through leet substitution subsets and common
+    suffixes) and the numeric sweep 0..120 then -1..-120 (most bombs
+    atoi their input) — so both a password check and a magic number
+    fall within the first ~100 executions.
+    """
+    words = _word_candidates()
+    numbers = _numeric_candidates()
+    while True:
+        emitted = False
+        for stream in (words, numbers):
+            item = next(stream, None)
+            if item is not None:
+                emitted = True
+                yield item
+        if not emitted:
+            return
+
+
+def dictionary_tokens() -> list[bytes]:
+    """Tokens for havoc splicing: base words and their full-leet forms."""
+    tokens = []
+    for word in _WORDLIST:
+        tokens.append(word.encode())
+        full = "".join(_LEET.get(ch, ch) for ch in word)
+        if full != word:
+            tokens.append(full.encode())
+    tokens.extend(_INTERESTING_WORDS)
+    return tokens
+
+
+class Mutator:
+    """Havoc-stage mutator over a corpus, driven by one xorshift PRNG."""
+
+    def __init__(self, rng: _XorShift):
+        self.rng = rng
+        self.tokens = dictionary_tokens()
+
+    def mutate(self, data: bytes, corpus: list[bytes]) -> bytes:
+        """One havoc mutation of *data* (1-4 stacked operations)."""
+        out = bytearray(data or b"0")
+        for _ in range(1 + self.rng.below(4)):
+            self._mutate_once(out, corpus)
+        if not out:
+            out = bytearray(b"0")
+        return bytes(out[:MAX_INPUT_LEN])
+
+    def _mutate_once(self, out: bytearray, corpus: list[bytes]) -> None:
+        rng = self.rng
+        if not out:
+            out.extend(b"0")
+        op = rng.below(7)
+        if op == 0:  # flip one bit
+            pos = rng.below(len(out))
+            out[pos] ^= 1 << rng.below(8)
+        elif op == 1:  # arithmetic nudge on one byte
+            pos = rng.below(len(out))
+            delta = 1 + rng.below(16)
+            if rng.below(2):
+                delta = -delta
+            out[pos] = (out[pos] + delta) & 0xFF
+        elif op == 2:  # interesting byte substitution
+            pos = rng.below(len(out))
+            out[pos] = _INTERESTING_BYTES[rng.below(len(_INTERESTING_BYTES))]
+        elif op == 3:  # insert a dictionary token
+            token = self.tokens[rng.below(len(self.tokens))]
+            pos = rng.below(len(out) + 1)
+            out[pos:pos] = token
+        elif op == 4:  # overwrite with a dictionary token
+            token = self.tokens[rng.below(len(self.tokens))]
+            pos = rng.below(len(out) + 1)
+            out[pos:pos + len(token)] = token
+        elif op == 5:  # delete a span
+            if len(out) > 1:
+                pos = rng.below(len(out))
+                count = 1 + rng.below(len(out) - pos)
+                del out[pos:pos + count]
+        else:  # splice with another corpus entry
+            if corpus:
+                other = corpus[rng.below(len(corpus))]
+                if other:
+                    cut = rng.below(len(out) + 1)
+                    take = rng.below(len(other)) + 1
+                    out[cut:] = other[:take]
+        del out[MAX_INPUT_LEN:]

@@ -167,13 +167,21 @@ def resolve_bombs(entries: list[str], levels: list[int]) -> list[str]:
 
 
 def resolve_tools(entries: list[str]) -> list[str]:
-    """Tool names selected by *entries*."""
+    """Tool names selected by *entries*.
+
+    The universe, the ``all`` keyword and the default are all derived
+    from the live :data:`~repro.bombs.suite.TOOL_COLUMNS` registry at
+    resolve time, so a new Table II column is selectable (by name, glob
+    or ``all``) with no spec-layer edits.  Selection order follows the
+    column order, with non-column tools (``rexx``) after.
+    """
     from ..bombs import TOOL_COLUMNS
     from ..tools.api import all_tool_names
 
-    universe = list(all_tool_names())
-    if "rexx" not in universe:
-        universe.append("rexx")
+    universe = list(TOOL_COLUMNS)
+    for name in list(all_tool_names()) + ["rexx"]:
+        if name not in universe:
+            universe.append(name)
     keywords = {"all": list(TOOL_COLUMNS)}
     return _select(entries, universe, list(TOOL_COLUMNS), keywords, "tools")
 

@@ -142,6 +142,7 @@ class ResultStore:
         self._objects.mkdir(parents=True, exist_ok=True)
         self._diagnoses = self.root / "diagnoses"
         self._lifts = self.root / "lift"
+        self._corpora = self.root / "corpus"
 
     def _path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
@@ -218,6 +219,41 @@ class ResultStore:
                 self._lift_path(digest).read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
+
+    # -- persisted fuzzing corpora -----------------------------------------
+
+    def _corpus_path(self, key: str) -> Path:
+        return self._corpora / key[:2] / f"{key}.json"
+
+    def put_corpus(self, key: str, payload: dict) -> None:
+        """Store a finished fuzz campaign's corpus and verdict."""
+        path = self._corpus_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps({"schema": CACHE_SCHEMA, **payload},
+                         sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.corpus_stores")
+
+    def get_corpus(self, key: str) -> dict | None:
+        """The persisted campaign for *key*, or None."""
+        try:
+            doc = json.loads(
+                self._corpus_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            return None
+        return doc
 
     # -- forensic diagnoses ------------------------------------------------
 

@@ -104,12 +104,23 @@ class AngrEngine:
         self.env_requirements: dict[str, object] = {}
         self.render_requests: dict[str, int] = {}   # fp var -> argv index
         self._argv_addrs: dict[int, int] = {}       # region addr -> argv index
+        # Sandshrew mode: opaque externals execute concretely in scratch
+        # machines; the tools layer reads ``opaque_concretized`` to decide
+        # whether a bounded concrete search is warranted.
+        self.opaque_runner = None
+        self.opaque_concretized = False
         if not policy.with_libs:
             table = SIMPROCEDURES
-            if getattr(policy, "simproc_table", "default") == "rexx":
+            table_name = getattr(policy, "simproc_table", "default")
+            if table_name == "rexx":
                 from .rexx_procs import REXX_SIMPROCEDURES
 
                 table = REXX_SIMPROCEDURES
+            elif table_name == "sandshrew":
+                from .sandshrew_procs import SANDSHREW_SIMPROCEDURES, OpaqueRunner
+
+                table = SANDSHREW_SIMPROCEDURES
+                self.opaque_runner = OpaqueRunner(image)
             for name, symbol in image.lib_symbols().items():
                 proc = table.get(name)
                 if proc is not None:

@@ -65,8 +65,17 @@ class SymexPolicy:
     #: call stacks (veritesting-style), collapsing the array bombs'
     #: path blow-up.  Part of the fingerprint like every capability.
     merge_states: bool = False
-    #: Which simprocedure catalogue to hook with ("default" | "rexx").
+    #: Which simprocedure catalogue to hook with ("default" | "rexx" |
+    #: "sandshrew" — the latter runs opaque ``.lib`` externals concretely
+    #: in the VM on the current model and re-injects the result).
     simproc_table: str = "default"
+
+    #: When > 0 and the exploration concretized at least one opaque
+    #: library call without solving, spend up to this many concrete
+    #: executions on the deterministic cracking-candidate stream
+    #: (sandshrew's endgame: the engine cannot invert the crypto, but it
+    #: can *check* dictionary candidates at native VM speed).
+    concrete_fallback_budget: int = 0
 
     # -- budgets ----------------------------------------------------------
     max_states: int = 512

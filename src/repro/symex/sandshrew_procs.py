@@ -1,0 +1,205 @@
+"""Sandshrew-style concretizing simprocedures (the ``sandshrewx`` tool).
+
+Where the default catalogue summarizes computational externals (``sin``,
+``rand``, ``sha1``, ``aes128_encrypt``, ...) with *unconstrained* return
+values, this table runs the real ``.lib`` implementation **concretely in
+the VM** on the current model's argument values and re-injects the
+concrete result into the symbolic state.  The move is honest: every
+symbolic argument is first *pinned* to its model value (a recorded
+concretization, Es2 evidence when the cell stays unsolved), so the
+injected result is sound for the path actually explored.
+
+Stateful externals (``srand``/``rand`` share a PRNG cell in library
+data) are handled by logging every opaque call on the state and
+replaying the whole per-path log in a fresh machine, so forked paths
+keep independent, correctly-evolved library state.
+
+Concretizing through the crypto functions does not invert them — it
+turns the engine into an oracle for *checking* candidate inputs, which
+is exactly what the tools layer's bounded concrete search exploits
+(see ``concrete_fallback_budget`` in the policy).
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..errors import DiagnosticKind, SolverError, VMError
+from ..smt import eval_expr, mk_const, mk_eq
+from ..vm import Machine
+from .simprocedures import SIMPROCEDURES, _unconstrained
+
+_MAX_MSG = 64  # cap on pinned message buffers (sha1 inputs)
+
+
+class OpaqueRunner:
+    """Executes logged opaque calls concretely in scratch machines.
+
+    One fresh :class:`Machine` per distinct call log: library globals
+    (e.g. ``rand_state``) evolve exactly as they would along the path,
+    and memoization keeps forked paths with shared prefixes cheap.
+    """
+
+    def __init__(self, image):
+        self.image = image
+        self._addrs = {name: sym.addr
+                       for name, sym in image.lib_symbols().items()}
+        self._memo: dict[tuple, tuple[int, tuple[bytes, ...]]] = {}
+
+    def supports(self, name: str) -> bool:
+        return name in self._addrs
+
+    def run(self, log: tuple) -> tuple[int, tuple[bytes, ...]]:
+        """Replay *log*; the last call's (r0, out-buffer contents)."""
+        cached = self._memo.get(log)
+        if cached is not None:
+            return cached
+        machine = Machine(self.image, [b"opaque"])
+        memory = machine.processes[machine.main_pid].memory
+        result: tuple[int, tuple[bytes, ...]] = (0, ())
+        for call in log:
+            name, *spec = call
+            args: list[int] = []
+            outs: list[tuple[int, int]] = []
+            for kind, payload in spec:
+                if kind == "i":
+                    args.append(payload)
+                elif kind == "buf":
+                    addr = machine.scratch_alloc(len(payload) + 1)
+                    memory.write(addr, payload + b"\x00")
+                    args.append(addr)
+                else:  # "out": payload is the buffer length
+                    addr = machine.scratch_alloc(payload)
+                    args.append(addr)
+                    outs.append((addr, payload))
+            r0 = machine.call_function(self._addrs[name], args)
+            result = (r0, tuple(bytes(memory.read(addr, length))
+                                for addr, length in outs))
+        self._memo[log] = result
+        return result
+
+
+# -- pinning helpers -------------------------------------------------------
+
+def _pin(engine, state, expr, what: str) -> int:
+    """A concrete value for *expr*, pinning symbolic ones to the model."""
+    if expr.is_const:
+        return expr.value
+    return engine._concretize(
+        state, expr, DiagnosticKind.CONCRETIZED_ENV,
+        f"sandshrew: {what} pinned to the model value for concrete execution",
+    )
+
+
+def _pin_bytes(engine, state, addr: int, count: int, what: str) -> bytes:
+    """Concrete buffer contents at *addr*, pinning symbolic bytes."""
+    out = bytearray()
+    pinned = False
+    for i in range(count):
+        byte = state.read_byte(addr + i)
+        if byte.is_const:
+            out.append(byte.value)
+            continue
+        value = eval_expr(byte, state.model) & 0xFF
+        state.add_constraint(mk_eq(byte, mk_const(value, 8)))
+        out.append(value)
+        pinned = True
+    if pinned:
+        engine.diags.emit(
+            DiagnosticKind.CONCRETIZED_ENV,
+            f"sandshrew: {what} buffer pinned to the model bytes "
+            f"for concrete execution",
+        )
+    return bytes(out)
+
+
+def _run_opaque(engine, state, call: tuple) -> tuple[int, tuple[bytes, ...]]:
+    state.opaque_calls = state.opaque_calls + (call,)
+    engine.opaque_concretized = True
+    obs.count("symex.opaque_calls")
+    return engine.opaque_runner.run(state.opaque_calls)
+
+
+def _concretizer(name: str, n_args: int):
+    """A concretizing proc for a pure scalar external (sin, pow, ...)."""
+
+    def proc(engine, state, args):
+        if not engine.opaque_runner.supports(name):
+            return SIMPROCEDURES[name](engine, state, args)
+        try:
+            spec = tuple(
+                ("i", _pin(engine, state, args[i], f"{name} argument {i}"))
+                for i in range(n_args)
+            )
+            r0, _ = _run_opaque(engine, state, (name, *spec))
+            return mk_const(r0, 64)
+        except (VMError, SolverError):
+            return _unconstrained(engine, state, name)
+
+    return proc
+
+
+def sp_srand_conc(engine, state, args):
+    if not engine.opaque_runner.supports("srand"):
+        return SIMPROCEDURES["srand"](engine, state, args)
+    try:
+        seed = _pin(engine, state, args[0], "srand seed")
+        _run_opaque(engine, state, ("srand", ("i", seed)))
+        return mk_const(0, 64)
+    except (VMError, SolverError):
+        return mk_const(0, 64)
+
+
+def sp_sha1_conc(engine, state, args):
+    if not engine.opaque_runner.supports("sha1"):
+        return SIMPROCEDURES["sha1"](engine, state, args)
+    try:
+        msg_addr = _pin(engine, state, args[0], "sha1 message pointer")
+        length = min(_pin(engine, state, args[1], "sha1 length"), _MAX_MSG)
+        out = args[2]
+        msg = _pin_bytes(engine, state, msg_addr, length, "sha1 message")
+        _, bufs = _run_opaque(
+            engine, state,
+            ("sha1", ("buf", msg), ("i", length), ("out", 20)),
+        )
+        if out.is_const and bufs:
+            for i, byte in enumerate(bufs[0]):
+                state.write_byte(out.value + i, mk_const(byte, 8))
+        return mk_const(0, 64)
+    except (VMError, SolverError):
+        return SIMPROCEDURES["sha1"](engine, state, args)
+
+
+def sp_aes_conc(engine, state, args):
+    if not engine.opaque_runner.supports("aes128_encrypt"):
+        return SIMPROCEDURES["aes128_encrypt"](engine, state, args)
+    try:
+        key_addr = _pin(engine, state, args[0], "aes key pointer")
+        msg_addr = _pin(engine, state, args[1], "aes plaintext pointer")
+        out = args[2]
+        key = _pin_bytes(engine, state, key_addr, 16, "aes key")
+        msg = _pin_bytes(engine, state, msg_addr, 16, "aes plaintext")
+        _, bufs = _run_opaque(
+            engine, state,
+            ("aes128_encrypt", ("buf", key), ("buf", msg), ("out", 16)),
+        )
+        if out.is_const and bufs:
+            for i, byte in enumerate(bufs[0]):
+                state.write_byte(out.value + i, mk_const(byte, 8))
+        return mk_const(0, 64)
+    except (VMError, SolverError):
+        return SIMPROCEDURES["aes128_encrypt"](engine, state, args)
+
+
+#: The sandshrew catalogue: the default table with computational
+#: externals swapped for concretizing versions.
+SANDSHREW_SIMPROCEDURES = dict(SIMPROCEDURES)
+SANDSHREW_SIMPROCEDURES.update({
+    "sin": _concretizer("sin", 1),
+    "cos": _concretizer("cos", 1),
+    "pow": _concretizer("pow", 2),
+    "fabs": _concretizer("fabs", 1),
+    "rand": _concretizer("rand", 0),
+    "srand": sp_srand_conc,
+    "sha1": sp_sha1_conc,
+    "aes128_encrypt": sp_aes_conc,
+})

@@ -100,6 +100,10 @@ class SymState:
         #: explorer's Call/Ret handling); states only merge at a
         #: post-dominator when their call stacks are identical.
         self.callstack: tuple[int, ...] = ()
+        #: Opaque library calls concretized along this path, in call
+        #: order (sandshrew mode).  Stateful functions (srand/rand) are
+        #: re-executed by replaying this log in a fresh machine.
+        self.opaque_calls: tuple = ()
         self._image_bytes: dict[int, bytes] = {}
 
     # -- forking -----------------------------------------------------------
@@ -138,6 +142,7 @@ class SymState:
         other.mailbox = list(self.mailbox)
         other.sig_handler = self.sig_handler
         other.callstack = self.callstack
+        other.opaque_calls = self.opaque_calls
         other._image_bytes = self._image_bytes
         return other
 

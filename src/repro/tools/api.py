@@ -1,10 +1,10 @@
 """Unified tool interface over the two engine families.
 
 ``get_tool(name)`` returns a :class:`Tool` for any Table II column
-(``bapx``, ``tritonx``, ``angrx``, ``angrx_nolib``) or the extension
-tool ``rexx``.  ``Tool.analyze_bomb`` runs the engine and **validates
-every claimed input by concrete replay** before granting success — the
-paper's acceptance criterion.
+(``bapx``, ``tritonx``, ``angrx``, ``angrx_nolib``, ``sandshrewx``,
+``hybridx``) or the extension tool ``rexx``.  ``Tool.analyze_bomb``
+runs the engine and **validates every claimed input by concrete
+replay** before granting success — the paper's acceptance criterion.
 """
 
 from __future__ import annotations
@@ -17,9 +17,11 @@ from .. import obs
 from ..bombs.suite import Bomb
 from ..concolic import ConcolicEngine
 from ..errors import DiagnosticLog
+from ..fuzz.hybrid import run_hybrid
+from ..fuzz.mutator import cracking_candidates
 from ..symex import AngrEngine
 from ..vm import Environment
-from .profiles import SYMEX_PROFILES, TRACE_PROFILES
+from .profiles import HYBRID_PROFILES, SYMEX_PROFILES, TRACE_PROFILES
 
 
 @dataclass
@@ -53,10 +55,13 @@ class Tool:
         elif name in SYMEX_PROFILES:
             self.family = "symex"
             self.policy = SYMEX_PROFILES[name]
+        elif name in HYBRID_PROFILES:
+            self.family = "hybrid"
+            self.policy = HYBRID_PROFILES[name]
         else:
             raise KeyError(
                 f"unknown tool {name!r}; known: "
-                f"{sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES) + ['rexx']}"
+                f"{all_tool_names() + ['rexx']}"
             )
 
     def analyze_bomb(self, bomb: Bomb) -> ToolReport:
@@ -64,6 +69,8 @@ class Tool:
         start = time.monotonic()
         if self.family == "trace":
             report = self._run_trace(bomb)
+        elif self.family == "hybrid":
+            report = self._run_hybrid(bomb)
         else:
             report = self._run_symex(bomb)
         report.elapsed = time.monotonic() - start
@@ -110,6 +117,53 @@ class Tool:
                         report.solution = claim
                         break
                 sp.set("validated", report.solved)
+        budget = getattr(self.policy, "concrete_fallback_budget", 0)
+        if (budget > 0 and not report.solved and not bomb.expected_unreachable
+                and getattr(engine, "opaque_concretized", False)):
+            self._concrete_fallback(bomb, report, budget)
+        return report
+
+    def _concrete_fallback(self, bomb: Bomb, report: ToolReport,
+                           budget: int) -> None:
+        """Sandshrew's endgame: the engine concretized through an opaque
+        library call it cannot invert, so spend the remaining budget
+        *checking* deterministic cracking candidates at VM speed."""
+        with obs.span("concrete_fallback", bomb=bomb.bomb_id,
+                      tool=self.name) as sp:
+            tail = list(bomb.seed_argv[1:])
+            for i, candidate in enumerate(cracking_candidates()):
+                if i >= budget:
+                    break
+                obs.count("symex.fallback_execs")
+                claim = [candidate, *tail]
+                if bomb.triggers(claim):
+                    report.solved = True
+                    report.solution = claim
+                    report.goal_claimed = True
+                    report.claimed_inputs.append(claim)
+                    break
+            sp.set("cracked", report.solved)
+
+    def _run_hybrid(self, bomb: Bomb) -> ToolReport:
+        raw = run_hybrid(
+            bomb.image, self.policy, bomb.seed_argv, bomb.base_env(),
+            argv0=bomb.bomb_id.encode(),
+        )
+        report = ToolReport(
+            tool=self.name,
+            bomb_id=bomb.bomb_id,
+            goal_claimed=raw.solved,
+            claimed_inputs=raw.claimed_inputs,
+            diagnostics=raw.diagnostics,
+            aborted=raw.aborted,
+        )
+        if raw.solved and raw.solution is not None:
+            with obs.span("replay", bomb=bomb.bomb_id, tool=self.name) as sp:
+                obs.count("replay.claims_checked")
+                if bomb.triggers(raw.solution):
+                    report.solved = True
+                    report.solution = raw.solution
+                sp.set("validated", report.solved)
         return report
 
 
@@ -123,7 +177,8 @@ def get_tool(name: str) -> Tool:
 
 
 def all_tool_names() -> list[str]:
-    return sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES)
+    return (sorted(TRACE_PROFILES) + sorted(SYMEX_PROFILES)
+            + sorted(HYBRID_PROFILES))
 
 
 def capability_fingerprint(name: str) -> str:

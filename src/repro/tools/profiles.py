@@ -10,6 +10,7 @@ documentation of that era.
 from __future__ import annotations
 
 from ..concolic.policy import ToolPolicy
+from ..fuzz.hybrid import HybridPolicy
 from ..symex.policy import SymexPolicy
 
 #: BAP 0.9-era: Pin tracer (follows threads + signals), OCaml lifter
@@ -52,6 +53,25 @@ ANGRX = SymexPolicy(name="angrx", with_libs=True)
 #: angr without libraries: library calls intercepted by simprocedures.
 ANGRX_NOLIB = SymexPolicy(name="angrx_nolib", with_libs=False)
 
+#: Sandshrew-style concretizing concolic (Trail of Bits' sandshrew on
+#: unicorn, here on the no-lib symbolic engine): opaque ``.lib``/crypto
+#: externals run concretely in the VM on the current model with the
+#: result re-injected; when that concretization happened and no claim
+#: validated, a bounded concrete search checks cracking candidates.
+SANDSHREWX = SymexPolicy(
+    name="sandshrewx",
+    with_libs=False,
+    simproc_table="sandshrew",
+    concrete_fallback_budget=700,
+)
+
+#: Legion-style hybrid fuzzing: a deterministic coverage-guided fuzzer
+#: alternating with short trace-based concolic phases; solver-derived
+#: branch-flip inputs seed the fuzzer, highest-coverage corpus entries
+#: seed the concolic replays.
+HYBRIDX = HybridPolicy(name="hybridx")
+
 
 TRACE_PROFILES = {p.name: p for p in (BAPX, TRITONX)}
-SYMEX_PROFILES = {p.name: p for p in (ANGRX, ANGRX_NOLIB)}
+SYMEX_PROFILES = {p.name: p for p in (ANGRX, ANGRX_NOLIB, SANDSHREWX)}
+HYBRID_PROFILES = {p.name: p for p in (HYBRIDX,)}

@@ -50,6 +50,13 @@ QUANTUM = 60
 STACK_TOP = 0x7FF0_0000
 STACK_RESERVE = 0x10_0000
 _BLOCK = object()  # sentinel: syscall must retry after blocking
+# Return address used by call_function(); never a valid code address, and
+# checked *before* stepping so the sentinel is never fetched.
+CALL_RETURN_ADDR = 0xCA11_0000
+# Ops that end a basic block: every (src, dst) pair they produce is an
+# edge for coverage purposes, including the fallthrough side of a
+# conditional branch.
+_EDGE_OPS = frozenset({Op.JMP, Op.JMPR, Op.CALL, Op.CALLR, Op.RET}) | COND_BRANCHES
 
 
 @dataclass
@@ -138,6 +145,10 @@ class Machine:
         self.on_step: Callable[[Process, Thread, Instruction], None] | None = None
         self.on_syscall: Callable[[Process, Thread, int, list[int], int], None] | None = None
         self.on_signal: Callable[[Process, Thread, int, int], None] | None = None
+        # Edge hook (used by the coverage-guided fuzzer): fired once per
+        # executed block-terminating instruction with (src, dst), where
+        # src is the branch address and dst the address actually reached.
+        self.on_edge: Callable[[int, int], None] | None = None
 
         self._setup_main_process(argv)
 
@@ -391,6 +402,8 @@ class Machine:
         else:
             self._execute_float(proc, thread, instr)
         ctx.pc = next_pc
+        if self.on_edge is not None and op in _EDGE_OPS:
+            self.on_edge(instr.addr, next_pc)
 
     def _execute_float(self, proc: Process, thread: Thread, instr: Instruction) -> None:
         ctx = thread.ctx
@@ -648,6 +661,49 @@ class Machine:
         child.threads.append(Thread(self._alloc_tid(), ctx))
         self.processes[child.pid] = child
         return child.pid
+
+    # -- direct calls -----------------------------------------------------------
+
+    def scratch_alloc(self, size: int) -> int:
+        """Carve *size* bytes off the main process's brk for call buffers."""
+        proc = self.processes[self.main_pid]
+        addr = proc.brk
+        proc.brk = (proc.brk + size + 0xF) & ~0xF
+        return addr
+
+    def call_function(self, addr: int, args: list[int], max_steps: int = 200_000) -> int:
+        """Execute the function at *addr* to completion and return r0.
+
+        Arguments go in r1..rN per the VM calling convention (doubles are
+        passed as raw 64-bit bit patterns).  The call runs on the main
+        process's first thread with the sentinel return address checked
+        *before* each step, so repeated calls on one machine work and
+        process globals (e.g. a PRNG state cell) persist between calls.
+        """
+        proc = self.processes[self.main_pid]
+        if not proc.alive:
+            raise VMError("call_function: main process has exited")
+        thread = proc.threads[0]
+        saved = thread.ctx
+        ctx = Context(pc=addr)
+        for i, value in enumerate(args[:14], start=1):
+            ctx.regs[i] = u64(value)
+        ctx.regs[15] = u64(STACK_TOP - 8)
+        proc.memory.write_u64(ctx.regs[15], CALL_RETURN_ADDR)
+        thread.ctx = ctx
+        thread.state = "run"
+        try:
+            for _ in range(max_steps):
+                if ctx.pc == CALL_RETURN_ADDR:
+                    return ctx.regs[0]
+                if thread.state != "run" or not proc.alive:
+                    raise VMError("call_function: callee exited the process")
+                self._step(proc, thread)
+                self.steps += 1
+            raise VMError(f"call_function: no return within {max_steps} steps")
+        finally:
+            thread.ctx = saved
+            thread.state = "run"
 
 
 def run_image(

@@ -109,6 +109,60 @@ class TestCompare:
         assert bench_check.compare(stageless, candidate()) == []
 
 
+FUZZ_BASELINE = {
+    "wall_s": 100.0,
+    "fuzz": {
+        "coverage_solved": ["cf_sha1", "cp_stack"],
+        "executions_to_trigger": {"cf_sha1": 100, "cp_stack": 40},
+    },
+}
+
+
+class TestFuzzGates:
+    def _cand(self, **fuzz_overrides):
+        doc = json.loads(json.dumps(FUZZ_BASELINE))
+        doc["fuzz"].update(fuzz_overrides)
+        return doc
+
+    def test_identical_fuzz_record_passes(self):
+        assert bench_check.compare(FUZZ_BASELINE, self._cand()) == []
+
+    def test_lost_coverage_bomb_fails(self):
+        problems = bench_check.compare(
+            FUZZ_BASELINE, self._cand(coverage_solved=["cp_stack"]))
+        assert any("coverage_solved lost" in p and "cf_sha1" in p
+                   for p in problems)
+
+    def test_new_coverage_bomb_passes(self):
+        cand = self._cand(
+            coverage_solved=["cf_sha1", "cp_stack", "sj_jump"],
+            executions_to_trigger={"cf_sha1": 100, "cp_stack": 40,
+                                   "sj_jump": 9},
+        )
+        assert bench_check.compare(FUZZ_BASELINE, cand) == []
+
+    def test_executions_to_trigger_growth_fails(self):
+        problems = bench_check.compare(
+            FUZZ_BASELINE,
+            self._cand(executions_to_trigger={"cf_sha1": 200,
+                                              "cp_stack": 40}))
+        assert any("executions_to_trigger[cf_sha1]" in p
+                   for p in problems)
+
+    def test_faster_trigger_passes(self):
+        cand = self._cand(executions_to_trigger={"cf_sha1": 10,
+                                                 "cp_stack": 40})
+        assert bench_check.compare(FUZZ_BASELINE, cand) == []
+
+    def test_fuzzless_records_skip_the_fuzz_gates(self):
+        assert bench_check.compare(BASELINE, candidate()) == []
+
+    def test_committed_fuzz_baseline_is_self_consistent(self):
+        committed = str(Path(__file__).resolve().parent.parent
+                        / "BENCH_fuzz.json")
+        assert bench_check.main([committed, committed]) == 0
+
+
 class TestMain:
     def _write(self, tmp_path, name, doc):
         path = tmp_path / name

@@ -1,0 +1,103 @@
+"""The sandshrewx column: concretizing simprocedures + concrete search.
+
+Satellite contract: the crypto cells flip from unsolved (``Es2`` under
+``angrx_nolib``) to solved, warm-cache reruns serve byte-identical
+results, and the ``angrx``-family cells are untouched — their policies
+carry no sandshrew capability, so their fingerprints (and cached cells)
+are isolated from the new column.
+"""
+
+import json
+
+from repro import obs
+from repro.bombs import get_bomb
+from repro.errors import DiagnosticKind, ErrorStage
+from repro.eval import run_cell, run_table2
+from repro.service import ResultStore, cell_key
+from repro.symex import AngrEngine
+from repro.tools import capability_fingerprint, get_tool
+from repro.tools.profiles import ANGRX, ANGRX_NOLIB, SANDSHREWX
+
+
+class TestConcretizingProcs:
+    def test_crypto_cells_flip_to_solved(self):
+        for bomb_id in ("cf_sha1", "cf_aes"):
+            bomb = get_bomb(bomb_id)
+            cell = run_cell(bomb, "sandshrewx")
+            assert cell.outcome is ErrorStage.OK, (bomb_id, cell.label)
+            assert bomb.triggers(cell.report.solution)
+
+    def test_nolib_crypto_cell_stays_unsolved(self):
+        cell = run_cell(get_bomb("cf_sha1"), "angrx_nolib")
+        assert cell.outcome is ErrorStage.ES2
+
+    def test_opaque_concretization_is_diagnosed(self):
+        bomb = get_bomb("cf_sha1")
+        engine = AngrEngine(bomb.image, SANDSHREWX)
+        engine.explore(bomb.seed_argv, argv0=b"cf_sha1")
+        assert engine.opaque_concretized
+        details = [d.detail for d in engine.diags
+                   if d.kind is DiagnosticKind.CONCRETIZED_ENV]
+        assert any("sandshrew" in d for d in details)
+
+    def test_stateful_externals_solve_via_replay_log(self):
+        # srand/rand share library state; the per-path opaque-call log
+        # replays them in order, so the PRNG-gated bomb still solves.
+        cell = run_cell(get_bomb("ef_srand"), "sandshrewx")
+        assert cell.outcome is ErrorStage.OK
+
+    def test_negative_bomb_claims_nothing(self):
+        # neg_square routes pow() through the concretizer, but the
+        # unreachable guard keeps the fallback search from even running.
+        report = get_tool("sandshrewx").analyze_bomb(get_bomb("neg_square"))
+        assert not report.solved
+        assert not report.false_positive
+
+
+class TestFingerprintIsolation:
+    def test_angr_policies_carry_no_sandshrew_capability(self):
+        for policy in (ANGRX, ANGRX_NOLIB):
+            assert policy.simproc_table == "default"
+            assert policy.concrete_fallback_budget == 0
+        assert SANDSHREWX.simproc_table == "sandshrew"
+        assert SANDSHREWX.concrete_fallback_budget > 0
+
+    def test_fingerprints_are_distinct(self):
+        prints = {capability_fingerprint(name)
+                  for name in ("angrx", "angrx_nolib", "sandshrewx")}
+        assert len(prints) == 3
+
+    def test_sandshrew_cells_key_separately(self):
+        bomb = get_bomb("cf_sha1")
+        assert cell_key(bomb, "sandshrewx") != cell_key(bomb, "angrx_nolib")
+
+
+class TestWarmCache:
+    def test_warm_rerun_is_byte_identical(self, tmp_path):
+        bombs, tools = ("cf_sha1",), ("sandshrewx",)
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            cold = run_table2(bomb_ids=bombs, tools=tools, cache=tmp_path)
+        cold_counters = rec.snapshot()["counters"]
+        assert cold_counters["service.cache_misses"] == 1
+
+        stored = sorted(p for p in tmp_path.rglob("*.json")
+                        if p.parent.name != "corpus")
+        cold_bytes = [p.read_bytes() for p in stored]
+
+        rec = obs.Recorder()
+        with obs.recording(rec):
+            warm = run_table2(bomb_ids=bombs, tools=tools, cache=tmp_path)
+        warm_counters = rec.snapshot()["counters"]
+        assert warm_counters["service.cache_hits"] == 1
+        # The warm run re-executed nothing: no solver queries, no
+        # fallback executions, and the stored objects are untouched.
+        assert warm_counters.get("smt.queries", 0) == 0
+        assert warm_counters.get("symex.fallback_execs", 0) == 0
+        assert [p.read_bytes() for p in stored] == cold_bytes
+
+        cold_cell = cold.cells[("cf_sha1", "sandshrewx")]
+        warm_cell = warm.cells[("cf_sha1", "sandshrewx")]
+        assert json.dumps(warm_cell.to_json(), sort_keys=True) == \
+            json.dumps(cold_cell.to_json(), sort_keys=True)
+        assert warm_cell.report.solution == cold_cell.report.solution

@@ -100,6 +100,23 @@ class TestSelectors:
         assert resolve_tools(["all"]) == list(TOOL_COLUMNS)
         assert resolve_tools(["tritonx"]) == ["tritonx"]
 
+    def test_new_tool_columns_resolve_with_no_spec_edits(self):
+        # The tools universe and the "all" keyword derive from the live
+        # TOOL_COLUMNS registry at resolve time, so a new Table II
+        # column is selectable by exact id, by glob, and via "all"
+        # without any change to the spec layer.
+        from repro.bombs import TOOL_COLUMNS
+
+        assert "sandshrewx" in TOOL_COLUMNS and "hybridx" in TOOL_COLUMNS
+        assert resolve_tools(["sandshrewx", "hybridx"]) == \
+            ["sandshrewx", "hybridx"]
+        assert resolve_tools(["*shrewx", "hybrid*"]) == \
+            ["sandshrewx", "hybridx"]
+        assert "hybridx" in resolve_tools(["all"])
+        spec = build_spec({"bombs": ["cf_sha1"],
+                           "tools": ["sandshrewx", "hybridx"]})
+        assert spec.tools == ("sandshrewx", "hybridx")
+
 
 class TestValidation:
     def test_unknown_keys_are_rejected_by_name(self):

@@ -18,7 +18,8 @@ from repro.tools import all_tool_names, get_tool
 
 class TestToolApi:
     def test_known_tools(self):
-        assert all_tool_names() == ["bapx", "tritonx", "angrx", "angrx_nolib"]
+        assert all_tool_names() == ["bapx", "tritonx", "angrx", "angrx_nolib",
+                                    "sandshrewx", "hybridx"]
         for name in all_tool_names() + ["rexx"]:
             assert get_tool(name).name == name
 
