@@ -30,6 +30,14 @@ executions-to-trigger counter may not grow past the tolerance for any
 bomb both revisions solve — the fuzzer is deterministic, so growth
 there is a real scheduling/mutation regression, not noise.
 
+And ``BENCH_solverlab.json`` records (the captured solver workload):
+when both records carry a ``solverlab`` section, the total query count
+may not grow past the tolerance (query counts are deterministic — more
+queries is a real exploration/solving change), and the per-class solve
+wall may not grow past the wall tolerance for any constraint-shape
+class present in both records — total wall can hide a workload shift
+into one expensive class; the per-class gates cannot.
+
 Exit status 0 when every gate holds, 1 otherwise (one line per
 violation on stderr).
 """
@@ -114,6 +122,25 @@ def compare(baseline: dict, candidate: dict,
             problems.append(
                 f"{key}.{stage} regressed: {old} -> {new} "
                 f"({_pct(old, new)}, tolerance {wall_tol:.0%})")
+
+    base_lab = baseline.get("solverlab")
+    cand_lab = candidate.get("solverlab")
+    if base_lab is not None and cand_lab is not None:
+        old, new = base_lab.get("queries"), cand_lab.get("queries")
+        if old is not None and new is not None \
+                and new > old * (1 + tolerance):
+            problems.append(
+                f"solverlab.queries regressed: {old} -> {new} "
+                f"({_pct(old, new)}, tolerance {tolerance:.0%})")
+        base_walls = base_lab.get("class_wall_s", {})
+        cand_walls = cand_lab.get("class_wall_s", {})
+        for cls in sorted(set(base_walls) & set(cand_walls)):
+            old, new = base_walls[cls], cand_walls[cls]
+            if new > old * (1 + wall_tol):
+                problems.append(
+                    f"solverlab.class_wall_s[{cls}] regressed: "
+                    f"{old} -> {new} ({_pct(old, new)}, "
+                    f"tolerance {wall_tol:.0%})")
 
     base_fuzz = baseline.get("fuzz")
     cand_fuzz = candidate.get("fuzz")

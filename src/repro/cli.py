@@ -12,6 +12,8 @@ the paper's artifact users would expect::
     repro bombs                            # list the dataset
     repro table2 --tools tritonx --bombs cp_stack sa_l1_array
     repro explain sa_l1_array tritonx      # why does that cell say Es3?
+    repro solverlab capture --cache lab    # record every SMT query
+    repro solverlab replay --cache lab     # re-run them, check verdicts
     repro stats run.jsonl --prom           # Prometheus text exposition
 
 Installed as the ``repro`` console script; also runnable as
@@ -529,6 +531,83 @@ def cmd_worker(args) -> int:
     return 0
 
 
+# -- solver lab -------------------------------------------------------------
+
+def cmd_solverlab_capture(args) -> int:
+    from .eval import solverlab
+
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("solverlab capture: --timeout must be > 0 seconds")
+    with _metrics(args):
+        doc = solverlab.capture_matrix(
+            bombs=args.bombs, tools=args.tools, cache=args.cache,
+            timeout=args.timeout, verbose=not args.json)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print()
+        print(solverlab.render_capture(doc))
+    return 0
+
+
+def cmd_solverlab_replay(args) -> int:
+    from . import obs
+    from .eval import solverlab
+
+    mode = "incremental" if args.incremental else "fresh"
+    trace_out = args.trace_out
+    with _metrics(args, capture=bool(trace_out)) as rec:
+        doc = solverlab.replay_corpus(args.cache, mode=mode,
+                                      bombs=args.bombs, tools=args.tools)
+        if trace_out:
+            mem = next(s for s in rec.sinks
+                       if isinstance(s, obs.MemorySink))
+            Path(trace_out).write_text(
+                json.dumps(obs.chrome_trace(mem.events)))
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2))
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(solverlab.render_replay(doc))
+    if trace_out:
+        print(f"trace written to {trace_out} "
+              "(load it in https://ui.perfetto.dev)", file=sys.stderr)
+    return 1 if doc["drift"] else 0
+
+
+def cmd_solverlab_report(args) -> int:
+    from .eval import solverlab
+
+    doc = solverlab.report_corpus(args.cache, top=args.top)
+    if args.prom:
+        from .obs.export import solverlab_class_wall
+
+        sys.stdout.write(solverlab_class_wall(doc))
+        return 0
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(solverlab.render_report(doc, top=args.top))
+    return 0
+
+
+def cmd_solverlab_diff(args) -> int:
+    from .eval import solverlab
+
+    try:
+        index_a = solverlab.corpus_index(args.a)
+        index_b = solverlab.corpus_index(args.b)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        raise SystemExit(f"solverlab diff: {err}")
+    doc = solverlab.diff_indices(index_a, index_b)
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(solverlab.render_diff(doc))
+    return 1 if doc["drift"] else 0
+
+
 def cmd_stats(args) -> int:
     from .obs import (
         aggregate_events,
@@ -783,6 +862,79 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream worker metrics to FILE (with --jobs N, "
                         "each loop writes FILE.<i>)")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "solverlab",
+        help="SMT flight-recorder corpora: capture a matrix's solver "
+             "queries, replay them offline, analyze the workload")
+    lab = p.add_subparsers(dest="verb", required=True)
+
+    c = lab.add_parser("capture", help="run (a slice of) the matrix with "
+                                       "query logging on and persist the "
+                                       "corpus into the store")
+    c.add_argument("--bombs", nargs="*")
+    c.add_argument("--tools", nargs="*")
+    c.add_argument("--cache", default=".repro-solverlab", metavar="DIR",
+                   help="result store receiving the query corpus "
+                        "(default ./.repro-solverlab; doubles as the "
+                        "cell result cache)")
+    c.add_argument("--timeout", type=float, metavar="SECONDS",
+                   help="per-cell wall-clock budget")
+    c.add_argument("--json", action="store_true",
+                   help="emit the capture summary as JSON")
+    c.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
+    c.set_defaults(func=cmd_solverlab_capture)
+
+    c = lab.add_parser("replay", help="re-run every captured query "
+                                      "offline and check verdict "
+                                      "identity (exit 1 on drift)")
+    c.add_argument("--cache", default=".repro-solverlab", metavar="DIR",
+                   help="store holding the captured corpus")
+    c.add_argument("--bombs", nargs="*",
+                   help="restrict to these bombs' manifests")
+    c.add_argument("--tools", nargs="*",
+                   help="restrict to these tools' manifests")
+    c.add_argument("--incremental", action="store_true",
+                   help="replay through an IncrementalSolver (assert "
+                        "prefix, answer via assumptions) instead of a "
+                        "fresh solver per query")
+    c.add_argument("--json", action="store_true",
+                   help="emit the replay document as JSON")
+    c.add_argument("--out", metavar="FILE.json",
+                   help="also write the replay document to FILE "
+                        "(feed it to `solverlab diff`)")
+    c.add_argument("--trace-out", metavar="FILE.json",
+                   help="write the replay's span trace as Chrome "
+                        "trace-event JSON (load in Perfetto)")
+    c.add_argument("--metrics-out", metavar="FILE.jsonl",
+                   help="stream observability events to FILE (JSONL)")
+    c.set_defaults(func=cmd_solverlab_replay)
+
+    c = lab.add_parser("report", help="workload analytics: top offenders, "
+                                      "per-class / per-kind / per-family "
+                                      "solve effort")
+    c.add_argument("--cache", default=".repro-solverlab", metavar="DIR",
+                   help="store holding the captured corpus")
+    c.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows per top-offender table (default 10)")
+    c.add_argument("--json", action="store_true",
+                   help="emit the report as JSON")
+    c.add_argument("--prom", action="store_true",
+                   help="emit the per-class solve wall as the "
+                        "repro_solverlab_class_wall_seconds Prometheus "
+                        "gauge family")
+    c.set_defaults(func=cmd_solverlab_report)
+
+    c = lab.add_parser("diff", help="compare two corpora or replay "
+                                    "documents: verdict drift + "
+                                    "per-class effort deltas (exit 1 "
+                                    "on drift)")
+    c.add_argument("a", help="corpus directory or replay JSON")
+    c.add_argument("b", help="corpus directory or replay JSON")
+    c.add_argument("--json", action="store_true",
+                   help="emit the diff as JSON")
+    c.set_defaults(func=cmd_solverlab_diff)
 
     p = sub.add_parser("stats", help="summarize a --metrics-out JSONL file")
     p.add_argument("metrics", help="path to a FILE.jsonl event stream")

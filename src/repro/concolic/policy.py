@@ -93,10 +93,18 @@ class ToolPolicy:
     #: analysis outcome, so the flag is excluded from the fingerprint.
     provenance: bool = False
 
+    #: Capture every solver query into the SMT flight recorder
+    #: (:mod:`repro.smt.querylog`) even when no process-wide recorder is
+    #: installed (``repro solverlab capture`` installs one instead of
+    #: flipping this).  Captured records persist into the attached
+    #: campaign store.  Like ``provenance``, logging never changes the
+    #: analysis outcome, so the flag is excluded from the fingerprint.
+    query_log: bool = False
+
     #: Fields that cannot affect the analysis outcome and therefore do
     #: not participate in :meth:`fingerprint` (cached campaign cells
     #: stay valid when they change).
-    _NON_SEMANTIC = frozenset({"provenance"})
+    _NON_SEMANTIC = frozenset({"provenance", "query_log"})
 
     def fingerprint(self) -> str:
         """Stable digest of every capability switch and budget.

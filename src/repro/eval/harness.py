@@ -215,6 +215,8 @@ def _cell_worker(bomb_id: str, tool_name: str,
     """
     obs.uninstall()
     profile.uninstall()
+    from ..smt import querylog
+    querylog.uninstall()
     bomb = get_bomb(bomb_id)
     if metrics_path is None:
         return run_cell(bomb, tool_name)
@@ -310,6 +312,7 @@ def run_table2(
         from ..fuzz import corpus as fuzz_corpus
         from ..ir import superblock
         from ..service.store import ResultStore
+        from ..smt import querylog
 
         store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
         # Warm campaigns also skip lifting: caches created from here on
@@ -318,6 +321,9 @@ def run_table2(
         # Fuzz campaigns persist under corpus/ the same way: an identical
         # campaign restores its verdict + corpus with zero executions.
         fuzz_corpus.attach_store(store)
+        # Tools whose policy sets ``query_log`` persist captured solver
+        # queries under smtlog/ the same way (see repro.smt.querylog).
+        querylog.attach_store(store)
     if jobs == 0:
         from ..service.fleet import auto_jobs
 

@@ -139,13 +139,18 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
-#: Fixed decade bucket bounds shared by every histogram: 1µs to 1Ms.
-#: Fixed bounds keep streams from different processes mergeable by key.
-BUCKET_BOUNDS: tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 7))
+#: Fixed bucket bounds shared by every histogram.  Decades alone blur
+#: the band where solver queries actually live (the bulk of ``smt.solve_s``
+#: lands between 10µs and 1ms), so the sub-millisecond decades get 1-2.5-5
+#: subdivisions; 1ms up stays decade-spaced.  Fixed bounds keep streams
+#: from different processes mergeable by key.
+BUCKET_BOUNDS: tuple[float, ...] = (
+    1e-06, 2.5e-06, 5e-06, 1e-05, 2.5e-05, 5e-05, 0.0001, 0.00025, 0.0005,
+) + tuple(10.0 ** e for e in range(-3, 7))
 
 
 def bucket_counts(values) -> dict[str, int]:
-    """Non-cumulative counts per decade bucket, keyed by upper bound
+    """Non-cumulative counts per bucket, keyed by upper bound
     (``"+Inf"`` for overflow).  JSON-safe and mergeable by key."""
     counts: dict[str, int] = {}
     for value in values:

@@ -128,6 +128,20 @@ def prometheus_gauges(name: str,
     return "\n".join(lines) + "\n"
 
 
+def solverlab_class_wall(report: dict) -> str:
+    """Render a solverlab report's per-class solve wall as the labelled
+    ``repro_solverlab_class_wall_seconds`` gauge family.
+
+    *report* is the document produced by
+    :func:`repro.eval.solverlab.report_corpus`; one sample per feature
+    class, so a scrape of ``repro solverlab report --prom`` output
+    tracks where the matrix's solve budget goes over time.
+    """
+    samples = [({"class": cls}, row["wall_s"])
+               for cls, row in sorted(report.get("by_class", {}).items())]
+    return prometheus_gauges("solverlab_class_wall_seconds", samples)
+
+
 @dataclass
 class ProfileRow:
     """Aggregated timing for one span path in the hierarchy."""

@@ -30,6 +30,15 @@ class JsonlSink:
 
     Accepts a path (opened lazily, truncated) or any object with a
     ``write`` method (left open on close).
+
+    Appends are line-atomic under concurrent forked writers: the file
+    is opened line-buffered and each event is emitted as ONE ``write``
+    of a complete ``...\\n`` line, so the buffer flushes exactly at line
+    boundaries and each line reaches the kernel as a single ``os.write``
+    on a descriptor whose offset the forked processes share.  Lines from
+    different processes interleave but never tear mid-line (short of a
+    crash mid-flush — which ``read_events(strict=False)`` absorbs by
+    dropping a torn final line).
     """
 
     def __init__(self, target):
@@ -37,12 +46,12 @@ class JsonlSink:
             self._fp = target
             self._owns = False
         else:
-            self._fp = Path(target).open("w", encoding="utf-8")
+            self._fp = Path(target).open("w", encoding="utf-8", buffering=1)
             self._owns = True
 
     def emit(self, event: dict) -> None:
-        self._fp.write(json.dumps(event, separators=(",", ":"), default=str))
-        self._fp.write("\n")
+        line = json.dumps(event, separators=(",", ":"), default=str)
+        self._fp.write(line + "\n")
 
     def close(self) -> None:
         if self._owns:

@@ -108,6 +108,8 @@ def _worker_main(bomb_id: str, tool: str, attempt: int,
     """
     obs.uninstall()  # inherited recorder writes to the parent's fds
     profile.uninstall()
+    from ..smt import querylog
+    querylog.uninstall()  # inherited captures would be lost on exit
     if store_root is not None:
         from ..fuzz import corpus as fuzz_corpus
         from ..ir import superblock
@@ -115,6 +117,7 @@ def _worker_main(bomb_id: str, tool: str, attempt: int,
         worker_store = ResultStore(store_root)
         superblock.attach_store(worker_store)
         fuzz_corpus.attach_store(worker_store)
+        querylog.attach_store(worker_store)
     kill_spec = os.environ.get(KILL_CELL_ENV)
     if kill_spec == f"{bomb_id}:{tool}" and attempt == 1:
         os.kill(os.getpid(), signal.SIGKILL)

@@ -23,6 +23,7 @@ store (see :mod:`repro.service.fingerprint`).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -143,6 +144,7 @@ class ResultStore:
         self._diagnoses = self.root / "diagnoses"
         self._lifts = self.root / "lift"
         self._corpora = self.root / "corpus"
+        self._smtlog = self.root / "smtlog"
 
     def _path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
@@ -254,6 +256,102 @@ class ResultStore:
         if doc.get("schema") != CACHE_SCHEMA:
             return None
         return doc
+
+    # -- captured solver queries (the SMT flight recorder) -----------------
+
+    def _query_path(self, digest: str) -> Path:
+        return self._smtlog / digest[:2] / f"{digest}.json"
+
+    def _manifest_path(self, bomb: str, tool: str) -> Path:
+        key = hashlib.sha256(f"{bomb}\x00{tool}".encode()).hexdigest()
+        return self._smtlog / "manifests" / f"{key}.json"
+
+    def put_query(self, digest: str, body: dict) -> bool:
+        """Store one content-addressed query record.
+
+        Returns True when the record was written, False when *digest*
+        was already present (records are immutable by construction, so
+        an existing digest is a cross-campaign dedup hit, not a
+        conflict).
+        """
+        path = self._query_path(digest)
+        if path.exists():
+            obs.count("service.query_dedup")
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.query_stores")
+        return True
+
+    def get_query(self, digest: str) -> dict | None:
+        """The stored query record for *digest*, or None."""
+        try:
+            return json.loads(
+                self._query_path(digest).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def query_digests(self) -> list[str]:
+        """Every stored query digest (sorted; manifests excluded)."""
+        return sorted(p.stem for p in self._smtlog.glob("??/*.json"))
+
+    def put_query_manifest(self, bomb: str, tool: str,
+                           payload: dict) -> None:
+        """Store one cell's query occurrence stream (last writer wins)."""
+        path = self._manifest_path(bomb, tool)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = json.dumps({"schema": CACHE_SCHEMA, "bomb": bomb,
+                          "tool": tool, **payload},
+                         sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(doc)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.count("service.manifest_stores")
+
+    def get_query_manifest(self, bomb: str, tool: str) -> dict | None:
+        """The stored manifest for one (bomb, tool) cell, or None."""
+        try:
+            doc = json.loads(
+                self._manifest_path(bomb, tool).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if doc.get("schema") != CACHE_SCHEMA:
+            return None
+        return doc
+
+    def query_manifests(self) -> list[dict]:
+        """Every stored cell manifest, sorted by (bomb, tool); torn or
+        stale-schema documents are skipped like any other miss."""
+        docs = []
+        for path in (self._smtlog / "manifests").glob("*.json"):
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if doc.get("schema") != CACHE_SCHEMA:
+                continue
+            docs.append(doc)
+        docs.sort(key=lambda d: (d.get("bomb") or "", d.get("tool") or ""))
+        return docs
 
     # -- forensic diagnoses ------------------------------------------------
 

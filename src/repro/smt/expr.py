@@ -135,6 +135,21 @@ def _intern(op: str, width: int, args: tuple[Expr, ...] = (),
     return node
 
 
+def intern_node(op: str, width: int, args: tuple[Expr, ...] = (),
+                value: int | None = None, name: str | None = None) -> Expr:
+    """Codec hook: intern a node *exactly* as described, no rewrites.
+
+    The ``mk_*`` smart constructors fold constants and normalize terms,
+    so a decoder built on them could produce a different (if equivalent)
+    DAG than the one encoded.  The query-log codec
+    (:mod:`repro.smt.querylog`) rebuilds nodes through this hook
+    instead, guaranteeing byte-exact round trips — decoded nodes still
+    land in the intern table, so identity sharing with live terms is
+    preserved.
+    """
+    return _intern(op, width, args, value, name)
+
+
 def _mask(width: int) -> int:
     return (1 << width) - 1
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from .. import obs
 from ..obs import profile
 from ..errors import SolverError
+from . import querylog
 from .bitblast import BitBlaster
 from .expr import Expr, eval_expr, mk_bool_and
 from .sat import SatSolver
@@ -91,7 +92,8 @@ class Solver:
         divisors).
         """
         self.queries += 1
-        if obs.active() is None and profile.active() is None:
+        if obs.active() is None and profile.active() is None \
+                and querylog.active() is None:
             return self._check(extra)
         t0 = time.perf_counter()
         status = "error"
@@ -109,6 +111,16 @@ class Solver:
                                  conflicts=stats.get("conflicts", 0),
                                  gates=stats.get("gates", 0),
                                  learnt=stats.get("learnt", 0))
+            querylog.record_check(
+                self.tagged(), extra, tag, status, wall, stats,
+                solver="oneshot", budget=self._budget())
+
+    def _budget(self) -> dict:
+        """The effort caps that shape this solver's verdicts (part of a
+        recorded query's content address)."""
+        return {"max_conflicts": self.max_conflicts,
+                "max_clauses": self.max_clauses,
+                "max_nodes": self.max_nodes}
 
     def _check(self, extra: list[Expr] | None = None) -> CheckResult:
         self._last_query_stats = {}
@@ -261,7 +273,8 @@ class IncrementalSolver:
         if isinstance(extra, Expr):
             extra = [extra]
         self.queries += 1
-        if obs.active() is None and profile.active() is None:
+        if obs.active() is None and profile.active() is None \
+                and querylog.active() is None:
             return self._check(list(extra or []))
         t0 = time.perf_counter()
         status = "error"
@@ -279,6 +292,12 @@ class IncrementalSolver:
                                  conflicts=stats.get("conflicts", 0),
                                  gates=stats.get("gates", 0),
                                  learnt=stats.get("learnt", 0))
+            querylog.record_check(
+                self.tagged(), list(extra or []), tag, status, wall, stats,
+                solver="incremental",
+                budget={"max_conflicts": self.max_conflicts,
+                        "max_clauses": self.max_clauses,
+                        "max_nodes": self.max_nodes})
 
     def _check(self, extra: list[Expr]) -> CheckResult:
         self._last_query_stats = {}

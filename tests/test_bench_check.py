@@ -163,6 +163,69 @@ class TestFuzzGates:
         assert bench_check.main([committed, committed]) == 0
 
 
+SOLVERLAB_BASELINE = {
+    "wall_s": 10.0,
+    "solverlab": {
+        "queries": 320,
+        "distinct": 190,
+        "dedup_ratio": 0.4,
+        "attributed_wall_fraction": 1.0,
+        "class_queries": {"small-linear": 173, "bitvector-mix": 144},
+        "class_wall_s": {"small-linear": 0.3, "bitvector-mix": 3.5},
+    },
+}
+
+
+class TestSolverlabGates:
+    def _cand(self, **lab_overrides):
+        doc = json.loads(json.dumps(SOLVERLAB_BASELINE))
+        doc["solverlab"].update(lab_overrides)
+        return doc
+
+    def test_identical_record_passes(self):
+        assert bench_check.compare(SOLVERLAB_BASELINE, self._cand()) == []
+
+    def test_query_count_growth_fails(self):
+        problems = bench_check.compare(SOLVERLAB_BASELINE,
+                                       self._cand(queries=400))
+        assert any("solverlab.queries regressed" in p for p in problems)
+
+    def test_query_count_within_tolerance_passes(self):
+        assert bench_check.compare(SOLVERLAB_BASELINE,
+                                   self._cand(queries=350)) == []
+
+    def test_fewer_queries_pass(self):
+        assert bench_check.compare(SOLVERLAB_BASELINE,
+                                   self._cand(queries=100)) == []
+
+    def test_per_class_wall_growth_fails(self):
+        problems = bench_check.compare(
+            SOLVERLAB_BASELINE,
+            self._cand(class_wall_s={"small-linear": 0.3,
+                                     "bitvector-mix": 9.0}))
+        assert any("class_wall_s[bitvector-mix] regressed" in p
+                   for p in problems)
+
+    def test_per_class_wall_uses_wall_tolerance(self):
+        cand = self._cand(class_wall_s={"small-linear": 0.3,
+                                        "bitvector-mix": 6.0})
+        assert bench_check.compare(SOLVERLAB_BASELINE, cand,
+                                   wall_tolerance=1.0) == []
+
+    def test_class_only_on_one_side_is_skipped(self):
+        cand = self._cand(class_wall_s={"small-linear": 0.3,
+                                        "deep-serial": 50.0})
+        assert bench_check.compare(SOLVERLAB_BASELINE, cand) == []
+
+    def test_lab_less_records_skip_the_gates(self):
+        assert bench_check.compare(BASELINE, candidate()) == []
+
+    def test_committed_solverlab_baseline_is_self_consistent(self):
+        committed = str(Path(__file__).resolve().parent.parent
+                        / "BENCH_solverlab.json")
+        assert bench_check.main([committed, committed]) == 0
+
+
 class TestMain:
     def _write(self, tmp_path, name, doc):
         path = tmp_path / name

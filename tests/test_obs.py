@@ -151,6 +151,60 @@ class TestJsonlRoundTrip:
         assert agg.counters["runs"] == 2
 
 
+class TestJsonlConcurrentWriters:
+    """Forked processes sharing one JsonlSink must interleave whole
+    lines, never fragments — the fleet's workers inherit the parent's
+    descriptor and the kernel-shared offset is the only coordination."""
+
+    N_CHILDREN = 4
+    N_EVENTS = 200
+
+    def test_forked_writers_produce_only_whole_lines(self, tmp_path):
+        import os
+
+        path = tmp_path / "fork.jsonl"
+        sink = JsonlSink(path)
+        pids = []
+        for child in range(self.N_CHILDREN):
+            pid = os.fork()
+            if pid == 0:
+                try:
+                    # Distinct payload sizes per child so torn lines
+                    # could not accidentally reassemble into valid JSON.
+                    pad = "x" * (20 + 7 * child)
+                    for i in range(self.N_EVENTS):
+                        sink.emit({"t": "count", "name": f"c{child}",
+                                   "n": 1, "i": i, "pad": pad})
+                    os._exit(0)
+                except BaseException:
+                    os._exit(1)
+            pids.append(pid)
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+        sink.close()
+
+        events = read_events(path)  # strict: ANY torn line raises
+        assert len(events) == self.N_CHILDREN * self.N_EVENTS
+        for child in range(self.N_CHILDREN):
+            seen = [e["i"] for e in events if e["name"] == f"c{child}"]
+            # Each child's own lines land in order and none are lost.
+            assert seen == list(range(self.N_EVENTS))
+
+    def test_torn_final_line_is_absorbed_non_strict(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"t": "count", "name": "ok", "n": 1})
+        sink.close()
+        # Simulate a writer killed mid-flush: append half a line.
+        with path.open("a", encoding="utf-8") as fp:
+            fp.write('{"t":"count","name":"torn","n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+        events = read_events(path, strict=False)
+        assert [e["name"] for e in events] == ["ok"]
+
+
 class TestOffMode:
     def test_hooks_are_noops_without_a_recorder(self):
         assert obs.active() is None

@@ -334,14 +334,47 @@ class TestAbortedSpans:
 
 
 class TestBucketCounts:
-    def test_values_land_in_decade_buckets(self):
+    def test_values_land_in_buckets(self):
         counts = bucket_counts([0.5e-6, 5e-6, 0.2, 2.0, 1e7])
         assert counts[repr(1e-06)] == 1   # 0.5µs ≤ 1µs
-        assert counts[repr(1e-05)] == 1
+        assert counts[repr(5e-06)] == 1
         assert counts[repr(1.0)] == 1
         assert counts[repr(10.0)] == 1
         assert counts["+Inf"] == 1
         assert sum(counts.values()) == 5
+
+    def test_sub_millisecond_values_resolve_within_a_decade(self):
+        # Solver queries cluster between 10µs and 1ms; the 1-2.5-5
+        # subdivisions must separate values a decade scheme would blur.
+        counts = bucket_counts([20e-6, 40e-6, 80e-6, 300e-6])
+        assert counts[repr(2.5e-05)] == 1
+        assert counts[repr(5e-05)] == 1
+        assert counts[repr(0.0001)] == 1
+        assert counts[repr(0.0005)] == 1
+
+    def test_bounds_are_sorted_and_decade_spaced_above_1ms(self):
+        from repro.obs.core import BUCKET_BOUNDS
+
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert len(set(BUCKET_BOUNDS)) == len(BUCKET_BOUNDS)
+        # Keys are repr()s with no float-noise digits (they become
+        # Prometheus le= label values).
+        for bound in BUCKET_BOUNDS:
+            assert "999" not in repr(bound), repr(bound)
+        assert tuple(b for b in BUCKET_BOUNDS if b >= 1e-3) == \
+            tuple(10.0 ** e for e in range(-3, 7))
+
+    def test_prometheus_exposition_renders_sub_ms_buckets(self):
+        from repro.obs import prometheus_text
+
+        text = prometheus_text({"histograms": {"smt.solve_s": {
+            "count": 3, "total": 0.00053, "p50": 2e-05, "p95": 0.0005,
+            "buckets": {repr(2.5e-05): 2, repr(0.0005): 1},
+        }}})
+        assert 'repro_smt_solve_s_bucket{le="2.5e-05"} 2' in text
+        # Cumulative across the finer bounds, sorted numerically.
+        assert 'repro_smt_solve_s_bucket{le="0.0005"} 3' in text
+        assert text.index('le="2.5e-05"') < text.index('le="0.0005"')
 
     def test_prometheus_exposition_renders_cumulative_buckets(self):
         from repro.obs import prometheus_text

@@ -154,6 +154,45 @@ class TestFleetVerbs:
         assert run_cli(["campaign", "status", "--root", root]) == 0
         assert "done=   1" in capsys.readouterr().out
 
+    def test_worker_metrics_out_streams_jsonl(self, tmp_path, capsys):
+        from repro.obs import aggregate_events, read_events
+
+        root = str(tmp_path / "svc")
+        metrics = tmp_path / "worker.jsonl"
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--bombs", "cp_stack", "--tools", "tritonx"]) == 0
+        capsys.readouterr()
+        assert run_cli(["worker", "--root", root, "--drain",
+                        "--poll", "0.01",
+                        "--metrics-out", str(metrics)]) == 0
+        events = read_events(metrics)  # strict: the stream must be clean
+        assert events, "worker --metrics-out produced no events"
+        agg = aggregate_events(events)
+        assert agg.counters.get("service.jobs_completed") == 1
+        # The stream feeds `repro stats` directly.
+        assert run_cli(["stats", str(metrics)]) == 0
+        assert "service" in capsys.readouterr().out
+
+    def test_worker_multi_loop_metrics_out_is_per_loop(self, tmp_path,
+                                                       capsys):
+        root = str(tmp_path / "svc")
+        metrics = tmp_path / "fleet.jsonl"
+        assert run_cli(["campaign", "submit", "--root", root,
+                        "--bombs", "cp_stack", "--tools", "tritonx"]) == 0
+        capsys.readouterr()
+        assert run_cli(["worker", "--root", root, "--drain", "--jobs", "2",
+                        "--poll", "0.01",
+                        "--metrics-out", str(metrics)]) == 0
+        # With --jobs N each forked loop writes FILE.<i>, not FILE.
+        assert not metrics.exists()
+        streams = sorted(tmp_path.glob("fleet.jsonl.*"))
+        assert [p.name for p in streams] == ["fleet.jsonl.0",
+                                             "fleet.jsonl.1"]
+        from repro.obs import read_events
+
+        assert all(isinstance(e, dict)
+                   for p in streams for e in read_events(p))
+
     def test_worker_store_alias_and_validation(self, tmp_path, capsys):
         root = str(tmp_path / "svc")
         assert run_cli(["worker", "--store", root, "--drain",

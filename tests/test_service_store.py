@@ -164,3 +164,56 @@ class TestResultStore:
         doc["schema"] = CACHE_SCHEMA + 1
         store._path(key).write_text(json.dumps(doc), encoding="utf-8")
         assert store.get(key, bomb) is None
+
+
+class TestQueryStore:
+    def test_put_query_dedups_by_digest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        digest = "ab" * 32
+        body = {"schema": 1, "nodes": [["v", 32, "x"]],
+                "constraints": [[0, None, None]], "assumptions": [],
+                "budget": {}, "features": {}, "class": "small-linear"}
+        assert store.put_query(digest, body) is True
+        assert store.put_query(digest, body) is False
+        assert store.get_query(digest) == body
+        assert store.get_query("cd" * 32) is None
+        assert store.query_digests() == [digest]
+
+    def test_query_layout_shards_by_digest_prefix(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        digest = "1234" + "0" * 60
+        store.put_query(digest, {"schema": 1})
+        assert (tmp_path / "store" / "smtlog" / "12"
+                / f"{digest}.json").is_file()
+
+    def test_manifest_round_trip_and_ordering(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_query_manifest("b_late", "t", {"queries": [{"digest": "x"}]})
+        store.put_query_manifest("a_early", "t", {"queries": []})
+        got = store.get_query_manifest("b_late", "t")
+        assert got["queries"] == [{"digest": "x"}]
+        assert got["bomb"] == "b_late" and got["tool"] == "t"
+        # Listing is sorted by (bomb, tool), not directory order.
+        assert [m["bomb"] for m in store.query_manifests()] == \
+            ["a_early", "b_late"]
+
+    def test_manifest_overwrite_replaces(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_query_manifest("b", "t", {"queries": [{"digest": "old"}]})
+        store.put_query_manifest("b", "t", {"queries": [{"digest": "new"}]})
+        assert store.get_query_manifest("b", "t")["queries"] == \
+            [{"digest": "new"}]
+
+    def test_torn_or_stale_manifests_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put_query_manifest("good", "t", {"queries": []})
+        manifests_dir = tmp_path / "store" / "smtlog" / "manifests"
+        (manifests_dir / "torn.json").write_text("{not json")
+        stale = json.loads(
+            next(p for p in manifests_dir.glob("*.json")
+                 if p.name != "torn.json").read_text())
+        stale["schema"] = CACHE_SCHEMA + 1
+        (manifests_dir / "stale.json").write_text(json.dumps(stale))
+        listing = store.query_manifests()
+        assert [m["bomb"] for m in listing] == ["good"]
+        assert store.get_query_manifest("missing", "t") is None
